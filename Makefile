@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-fast examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full paper-scale reproduction of every table and figure (~15 min).
+bench:
+	dune exec bench/main.exe
+
+# Same harness at 2000 arrivals per simulated point (~4 min).
+bench-fast:
+	dune exec bench/main.exe -- --fast
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/three_tier_web.exe
+	dune exec examples/storm_pipeline.exe
+	dune exec examples/ha_placement.exe
+	dune exec examples/inference_demo.exe
+	dune exec examples/enforcement_demo.exe
+	dune exec examples/autoscale_demo.exe
+	dune exec examples/disaggregated_dc.exe
+	dune exec examples/full_system.exe
+
+clean:
+	dune clean
