@@ -1,0 +1,524 @@
+(* CloudMirror command-line driver: run individual paper experiments,
+   inspect workload pools, place example tenants, and exercise TAG
+   inference and enforcement interactively. *)
+
+open Cmdliner
+
+module E = Cm_experiments.Experiments
+module Table = Cm_util.Table
+module Tag = Cm_tag.Tag
+module Tree = Cm_topology.Tree
+module Types = Cm_placement.Types
+module Pool = Cm_workload.Pool
+
+(* {1 Common options} *)
+
+let seed_t =
+  let doc = "PRNG seed; every command is deterministic given the seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let arrivals_t =
+  let doc = "Poisson arrivals per simulated point (paper: 10000)." in
+  Arg.(value & opt int 2000 & info [ "arrivals" ] ~docv:"N" ~doc)
+
+let bmax_t =
+  let doc = "Bmax scaling target in Mbps (paper sweeps 400-1200)." in
+  Arg.(value & opt float 800. & info [ "bmax" ] ~docv:"MBPS" ~doc)
+
+let load_t =
+  let doc = "Offered datacenter load in (0,1]." in
+  Arg.(value & opt float 0.9 & info [ "load" ] ~docv:"LOAD" ~doc)
+
+(* {1 experiment command} *)
+
+let experiment_names =
+  [
+    "fig1"; "fig2"; "fig3"; "fig4"; "fig6"; "table1"; "workloads"; "fig7";
+    "fig8"; "fig9"; "fig10"; "replicates"; "fig11"; "fig12"; "fig12-tor";
+    "fig13"; "e2e";
+    "profiles"; "prediction"; "optimality"; "defrag"; "ami"; "ami-sweep";
+    "runtime";
+  ]
+
+let run_experiment name seed arrivals bmax load =
+  let p = { E.seed; arrivals; bmax; load } in
+  match name with
+  | "fig1" -> List.iter Table.print (E.fig1 ()); `Ok ()
+  | "fig2" -> Table.print (E.fig2 ()); `Ok ()
+  | "fig3" -> Table.print (E.fig3 ()); `Ok ()
+  | "fig4" -> Table.print (E.fig4 ()); `Ok ()
+  | "fig6" -> Table.print (E.fig6 ()); `Ok ()
+  | "table1" -> Table.print (E.table1 ~seed ~bmax); `Ok ()
+  | "fig7" ->
+      Table.print
+        (E.fig7 p ~loads:[ 0.5; 0.9 ] ~bmaxes:[ 400.; 600.; 800.; 1000.; 1200. ]);
+      `Ok ()
+  | "fig8" ->
+      Table.print
+        (E.fig8 p ~loads:[ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]);
+      `Ok ()
+  | "fig9" -> Table.print (E.fig9 p ~ratios:[ 16; 32; 64; 128 ]); `Ok ()
+  | "fig10" -> Table.print (E.fig10 p); `Ok ()
+  | "fig11" -> Table.print (E.fig11 p ~rwcs_list:[ 0.; 0.25; 0.5; 0.75 ]); `Ok ()
+  | "fig12" ->
+      Table.print (E.fig12 p ~bmaxes:[ 400.; 600.; 800.; 1000.; 1200. ]);
+      `Ok ()
+  | "fig12-tor" ->
+      Table.print (E.fig12 ~laa_level:1 p ~bmaxes:[ 600.; 800.; 1000. ]);
+      `Ok ()
+  | "fig13" -> Table.print (E.fig13 ()); `Ok ()
+  | "workloads" ->
+      List.iter Table.print (E.table1_all_workloads ~seed ~bmax);
+      `Ok ()
+  | "replicates" ->
+      Table.print (E.replicates p ~seeds:[ 1; 2; 3; 4; 5 ]);
+      `Ok ()
+  | "e2e" -> Table.print (E.end_to_end ~seed ~bmax); `Ok ()
+  | "profiles" -> Table.print (E.profiles ~seed); `Ok ()
+  | "prediction" -> Table.print (E.prediction ~seed); `Ok ()
+  | "optimality" -> Table.print (E.optimality ~seed ()); `Ok ()
+  | "defrag" -> Table.print (E.defrag ~seed ()); `Ok ()
+  | "ami-sweep" -> Table.print (E.ami_sensitivity ~seed ()); `Ok ()
+  | "ami" ->
+      let t, _ = E.ami ~seed () in
+      Table.print t;
+      `Ok ()
+  | "runtime" ->
+      Table.print (E.runtime_probe ~seed ~sizes:[ 25; 57; 200; 732 ]);
+      `Ok ()
+  | other ->
+      `Error
+        (false,
+         Printf.sprintf "unknown experiment %S; one of: %s" other
+           (String.concat ", " experiment_names))
+
+let experiment_cmd =
+  let name_t =
+    let doc = "Experiment to run (fig1..fig13, table1, ami, runtime)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let doc = "Regenerate one of the paper's tables or figures." in
+  Cmd.v
+    (Cmd.info "experiment" ~doc)
+    Term.(
+      ret (const run_experiment $ name_t $ seed_t $ arrivals_t $ bmax_t $ load_t))
+
+(* {1 pool command} *)
+
+let pool_kind_t =
+  let doc = "Workload pool: bing, hpcloud or synthetic." in
+  Arg.(
+    value
+    & opt (enum [ ("bing", `Bing); ("hpcloud", `Hpcloud); ("synthetic", `Syn) ])
+        `Bing
+    & info [ "kind" ] ~docv:"KIND" ~doc)
+
+let run_pool kind seed bmax verbose export =
+  let pool =
+    match kind with
+    | `Bing -> Pool.bing_like ~seed ()
+    | `Hpcloud -> Pool.hpcloud_like ~seed ()
+    | `Syn -> Pool.synthetic ~seed ()
+  in
+  let pool = Pool.scale_to_bmax pool ~bmax in
+  Printf.printf
+    "pool %s: %d tenants, mean size %.1f VMs, max %d VMs,\n\
+    \  max per-VM demand %.0f Mbps, inter-component traffic fraction \
+     %.2f of aggregate\n\
+    \  (%.2f mean per component; paper reports 0.91 for bing.com)\n"
+    pool.pool_name (Array.length pool.tags) (Pool.mean_size pool)
+    (Pool.max_size pool)
+    (Pool.max_mean_vm_demand pool)
+    (Pool.mean_inter_component_fraction pool)
+    (Pool.mean_per_component_inter_fraction pool);
+  if verbose then
+    Array.iter
+      (fun tag ->
+        Printf.printf "  %-10s %4d VMs, %2d tiers, %8.0f Mbps aggregate\n"
+          (Tag.name tag) (Tag.total_vms tag) (Tag.n_components tag)
+          (Tag.aggregate_bandwidth tag))
+      pool.tags;
+  match export with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Array.iter
+        (fun tag ->
+          let path = Filename.concat dir (Tag.name tag ^ ".tag") in
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Cm_tag.Tag_format.to_text tag)))
+        pool.tags;
+      Printf.printf "wrote %d .tag files to %s\n" (Array.length pool.tags) dir
+
+let pool_cmd =
+  let verbose_t =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"List every tenant.")
+  in
+  let export_t =
+    let doc = "Write every tenant as a .tag file into this directory." in
+    Arg.(value & opt (some string) None & info [ "export" ] ~docv:"DIR" ~doc)
+  in
+  let doc = "Describe (and optionally export) a generated workload pool." in
+  Cmd.v (Cmd.info "pool" ~doc)
+    Term.(
+      const run_pool $ pool_kind_t $ seed_t $ bmax_t $ verbose_t $ export_t)
+
+(* {1 place command} *)
+
+let example_tag = function
+  | "three-tier" ->
+      Cm_tag.Examples.three_tier ~n_web:8 ~n_logic:8 ~n_db:8 ~b1:500. ~b2:100.
+        ~b3:50. ()
+  | "storm" -> Cm_tag.Examples.storm ~s:8 ~b:200.
+  | "fig6" -> Cm_tag.Examples.fig6 ()
+  | "batch" -> Cm_tag.Examples.batch ~size:32 ~bw:300. ()
+  | other -> invalid_arg (Printf.sprintf "unknown example tenant %S" other)
+
+let run_place example file alg rwcs =
+  match
+    match file with
+    | Some path -> Cm_tag.Tag_format.of_file path
+    | None -> (
+        try Ok (example_tag example) with Invalid_argument m -> Error m)
+  with
+  | Error m -> `Error (false, m)
+  | Ok tag ->
+      let tree = Tree.create_default () in
+      let sched =
+        match alg with
+        | "cm" -> Cm_sim.Driver.cm tree
+        | "ovoc" -> Cm_sim.Driver.oktopus tree
+        | "secondnet" -> Cm_sim.Driver.secondnet tree
+        | other ->
+            invalid_arg (Printf.sprintf "unknown algorithm %S" other)
+      in
+      let ha =
+        if rwcs > 0. then Some { Types.rwcs; laa_level = 0 } else None
+      in
+      Format.printf "%a@." Tag.pp tag;
+      (match sched.Cm_sim.Driver.place (Types.request ?ha tag) with
+      | Error reason ->
+          Printf.printf "REJECTED: %s\n" (Types.reject_to_string reason)
+      | Ok p ->
+          Printf.printf "placed %d VMs with %s:\n" (Types.vm_count p.locations)
+            sched.sched_name;
+          Array.iteri
+            (fun c placed ->
+              Printf.printf "  %-8s:" (Tag.component_name tag c);
+              List.iter
+                (fun (server, n) -> Printf.printf " srv%d x%d" server n)
+                placed;
+              print_newline ())
+            p.locations;
+          let wcs =
+            Cm_placement.Wcs.per_component tree tag p.locations ~laa_level:0
+          in
+          Array.iteri
+            (fun c w ->
+              Printf.printf "  WCS(%s) = %.0f%%\n" (Tag.component_name tag c)
+                (100. *. w))
+            wcs;
+          List.iter
+            (fun level ->
+              let up, down = Tree.reserved_at_level tree ~level in
+              Printf.printf
+                "  level %d reservations: %.1f Gbps up, %.1f Gbps down\n" level
+                (up /. 1000.) (down /. 1000.))
+            [ 0; 1; 2 ]);
+      `Ok ()
+
+let place_cmd =
+  let example_t =
+    let doc = "Example tenant: three-tier, storm, fig6 or batch." in
+    Arg.(value & pos 0 string "three-tier" & info [] ~docv:"TENANT" ~doc)
+  in
+  let file_t =
+    let doc =
+      "Read the tenant from a TAG file instead (see Cm_tag.Tag_format for \
+       the format)."
+    in
+    Arg.(value & opt (some file) None & info [ "file"; "f" ] ~docv:"FILE" ~doc)
+  in
+  let alg_t =
+    let doc = "Placement algorithm: cm, ovoc or secondnet." in
+    Arg.(value & opt string "cm" & info [ "alg" ] ~docv:"ALG" ~doc)
+  in
+  let rwcs_t =
+    let doc = "Guarantee this worst-case survivability (0 = no HA)." in
+    Arg.(value & opt float 0. & info [ "rwcs" ] ~docv:"FRACTION" ~doc)
+  in
+  let doc = "Place an example tenant on the default 2048-server datacenter." in
+  Cmd.v (Cmd.info "place" ~doc)
+    Term.(ret (const run_place $ example_t $ file_t $ alg_t $ rwcs_t))
+
+(* {1 infer command} *)
+
+let run_infer example csv seed =
+  match csv with
+  | Some path -> begin
+      match
+        In_channel.with_open_text path In_channel.input_all
+        |> Cm_inference.Traffic_matrix.of_csv
+      with
+      | Error m -> `Error (false, m)
+      | Ok tm ->
+          let r = Cm_inference.Infer.infer tm in
+          Format.printf
+            "imported %dx%d matrix over %d epochs; inferred:@.%a@." tm.n_vms
+            tm.n_vms
+            (Array.length tm.epochs)
+            Tag.pp r.inferred;
+          `Ok ()
+    end
+  | None -> begin
+      match
+        (try Ok (example_tag example) with Invalid_argument m -> Error m)
+      with
+      | Error m -> `Error (false, m)
+      | Ok tag ->
+          let rng = Cm_util.Rng.create seed in
+          let tm =
+            Cm_inference.Traffic_matrix.generate ~imbalance:0.9
+              ~noise_prob:0.05 ~rng tag
+          in
+          let r = Cm_inference.Infer.infer tm in
+          Format.printf "ground truth:@.%a@." Tag.pp tag;
+          Format.printf "inferred (AMI %.2f):@.%a@." r.ami_vs_truth Tag.pp
+            r.inferred;
+          `Ok ()
+    end
+
+let infer_cmd =
+  let example_t =
+    let doc = "Example tenant to generate traffic from." in
+    Arg.(value & pos 0 string "three-tier" & info [] ~docv:"TENANT" ~doc)
+  in
+  let csv_t =
+    let doc = "Infer from a measured CSV matrix (epoch,src,dst,rate)." in
+    Arg.(value & opt (some file) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "Infer a TAG from traffic: either synthesize noisy traffic from a \
+     known example (reporting AMI against the ground truth) or import a \
+     measured CSV matrix."
+  in
+  Cmd.v (Cmd.info "infer" ~doc)
+    Term.(ret (const run_infer $ example_t $ csv_t $ seed_t))
+
+(* {1 simulate command} *)
+
+let run_simulate kind alg seed arrivals bmax load rwcs =
+  let pool =
+    match kind with
+    | `Bing -> Pool.bing_like ~seed ()
+    | `Hpcloud -> Pool.hpcloud_like ~seed ()
+    | `Syn -> Pool.synthetic ~seed ()
+  in
+  let pool = Pool.scale_to_bmax pool ~bmax in
+  let tree = Tree.create_default () in
+  let sched =
+    match alg with
+    | "cm" -> Cm_sim.Driver.cm tree
+    | "cm+opp" ->
+        Cm_sim.Driver.cm
+          ~policy:
+            { Cm_placement.Cm.default_policy with opportunistic_ha = true }
+          tree
+    | "ovoc" -> Cm_sim.Driver.oktopus tree
+    | other -> invalid_arg (Printf.sprintf "unknown algorithm %S" other)
+  in
+  let ha = if rwcs > 0. then Some { Types.rwcs; laa_level = 0 } else None in
+  let cfg =
+    {
+      Cm_sim.Runner.default_config with
+      seed;
+      n_arrivals = arrivals;
+      load;
+      ha;
+    }
+  in
+  let r = Cm_sim.Runner.run sched tree pool cfg in
+  Printf.printf
+    "%s on %s pool: %d arrivals at %.0f%% load (Bmax %.0f)\n\
+    \  accepted %d, rejected %d (%d slots / %d bandwidth)\n\
+    \  rejected %.1f%% of VMs, %.1f%% of bandwidth\n\
+    \  mean slot utilization %.1f%%\n\
+    \  mean server-level WCS of deployed components: %.0f%%\n"
+    sched.sched_name pool.pool_name cfg.n_arrivals (100. *. load) bmax
+    r.accepted r.rejected r.rejected_no_slots r.rejected_no_bw
+    (Cm_sim.Runner.vm_rejection_rate r)
+    (Cm_sim.Runner.bw_rejection_rate r)
+    (100. *. r.mean_utilization)
+    (Cm_sim.Runner.mean_wcs r)
+
+let simulate_cmd =
+  let alg_t =
+    let doc = "Placement algorithm: cm, cm+opp or ovoc." in
+    Arg.(value & opt string "cm" & info [ "alg" ] ~docv:"ALG" ~doc)
+  in
+  let rwcs_t =
+    let doc = "Guarantee this WCS for every tenant (0 = none)." in
+    Arg.(value & opt float 0. & info [ "rwcs" ] ~docv:"FRACTION" ~doc)
+  in
+  let doc =
+    "Run a Poisson arrival/departure simulation on the default datacenter \
+     and report rejection and survivability statistics."
+  in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      const run_simulate $ pool_kind_t $ alg_t $ seed_t $ arrivals_t $ bmax_t
+      $ load_t $ rwcs_t)
+
+(* {1 scale command} *)
+
+let run_scale example sizes =
+  match
+    (try Ok (example_tag example) with Invalid_argument m -> Error m)
+  with
+  | Error m -> `Error (false, m)
+  | Ok tag ->
+      let tree = Tree.create_default () in
+      let sched = Cm_placement.Cm.create tree in
+      (match Cm_placement.Cm.place sched (Types.request tag) with
+      | Error reason ->
+          Printf.printf "initial placement rejected: %s\n"
+            (Types.reject_to_string reason)
+      | Ok p ->
+          let placement = ref p in
+          Printf.printf "deployed %s with %d VMs; scaling tier 0:\n"
+            (Tag.name tag)
+            (Types.vm_count p.locations);
+          List.iter
+            (fun new_size ->
+              match
+                Cm_placement.Cm.resize sched !placement ~comp:0 ~new_size
+              with
+              | Ok p2 ->
+                  placement := p2;
+                  Printf.printf
+                    "  tier 0 -> %3d VMs: tenant now %3d VMs on %d servers\n"
+                    new_size
+                    (Types.vm_count p2.locations)
+                    (Array.to_list p2.locations
+                    |> List.concat_map (List.map fst)
+                    |> List.sort_uniq compare |> List.length)
+              | Error reason ->
+                  Printf.printf "  tier 0 -> %3d VMs: rejected (%s)\n" new_size
+                    (Types.reject_to_string reason))
+            sizes;
+          Cm_placement.Cm.release sched !placement);
+      `Ok ()
+
+let scale_cmd =
+  let example_t =
+    let doc = "Example tenant: three-tier, storm, fig6 or batch." in
+    Arg.(value & pos 0 string "three-tier" & info [] ~docv:"TENANT" ~doc)
+  in
+  let sizes_t =
+    let doc = "Comma-separated target sizes for the first tier." in
+    Arg.(
+      value
+      & opt (list int) [ 16; 64; 8 ]
+      & info [ "sizes" ] ~docv:"N,N,..." ~doc)
+  in
+  let doc =
+    "Deploy a tenant and auto-scale its first tier through a sequence of \
+     sizes, in place."
+  in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(ret (const run_scale $ example_t $ sizes_t))
+
+(* {1 failures command} *)
+
+let run_failures example rwcs laa =
+  match
+    (try Ok (example_tag example) with Invalid_argument m -> Error m)
+  with
+  | Error m -> `Error (false, m)
+  | Ok tag ->
+      let tree = Tree.create_default () in
+      let sched = Cm_placement.Cm.create tree in
+      let ha =
+        if rwcs > 0. then Some { Types.rwcs; laa_level = laa } else None
+      in
+      (match Cm_placement.Cm.place sched (Types.request ?ha tag) with
+      | Error reason ->
+          Printf.printf "placement rejected: %s\n"
+            (Types.reject_to_string reason)
+      | Ok p ->
+          let r =
+            Cm_sim.Failure.exhaustive tree
+              [ (tag, p.locations) ]
+              ~laa_level:laa
+          in
+          let o = List.hd r.outcomes in
+          Printf.printf
+            "injected all %d level-%d fault domains into %s:\n" r.domains_failed
+            laa (Tag.name tag);
+          Array.iteri
+            (fun c predicted ->
+              Printf.printf
+                "  %-10s predicted WCS %3.0f%%  measured worst %3.0f%%  mean \
+                 %5.1f%%\n"
+                (Tag.component_name tag c)
+                (100. *. predicted)
+                (100. *. o.worst_survival.(c))
+                (100. *. o.mean_survival.(c)))
+            o.predicted_wcs);
+      `Ok ()
+
+let failures_cmd =
+  let example_t =
+    let doc = "Example tenant: three-tier, storm, fig6 or batch." in
+    Arg.(value & pos 0 string "three-tier" & info [] ~docv:"TENANT" ~doc)
+  in
+  let rwcs_t =
+    let doc = "Guarantee this WCS before injecting (0 = no guarantee)." in
+    Arg.(value & opt float 0. & info [ "rwcs" ] ~docv:"FRACTION" ~doc)
+  in
+  let laa_t =
+    let doc = "Fault-domain level: 0 = server, 1 = rack." in
+    Arg.(value & opt int 0 & info [ "level" ] ~docv:"LEVEL" ~doc)
+  in
+  let doc =
+    "Deploy a tenant, then inject every single-domain failure and compare \
+     measured survival against the predicted WCS."
+  in
+  Cmd.v (Cmd.info "failures" ~doc)
+    Term.(ret (const run_failures $ example_t $ rwcs_t $ laa_t))
+
+(* {1 main} *)
+
+let default_cmd = Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  (* CLOUDMIRROR_LOG=debug|info enables placement logging on stderr. *)
+  (match Sys.getenv_opt "CLOUDMIRROR_LOG" with
+  | Some level ->
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level
+        (match String.lowercase_ascii level with
+        | "debug" -> Some Logs.Debug
+        | "info" -> Some Logs.Info
+        | "warning" -> Some Logs.Warning
+        | _ -> Some Logs.Info)
+  | None -> ());
+  let info =
+    Cmd.info "cloudmirror" ~version:"1.0.0"
+      ~doc:
+        "Application-driven bandwidth guarantees in datacenters (SIGCOMM \
+         2014) - TAG models, CloudMirror placement, and experiment \
+         reproduction"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default:default_cmd info
+          [
+            experiment_cmd;
+            pool_cmd;
+            place_cmd;
+            infer_cmd;
+            simulate_cmd;
+            scale_cmd;
+            failures_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/autoscale_demo.ml: Array Cm_placement Cm_tag Cm_topology Float List Printf

@@ -1,0 +1,1 @@
+examples/autoscale_demo.mli:

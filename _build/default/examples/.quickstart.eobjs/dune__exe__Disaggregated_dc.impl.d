@@ -1,0 +1,1 @@
+examples/disaggregated_dc.ml: Cm_placement Cm_sim Cm_tag Cm_topology Cm_util Printf

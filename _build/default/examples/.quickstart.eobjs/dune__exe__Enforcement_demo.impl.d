@@ -1,0 +1,1 @@
+examples/enforcement_demo.ml: Array Cm_enforce List Printf String

@@ -1,0 +1,1 @@
+examples/full_system.ml: Array Cm_e2e Cm_inference Cm_placement Cm_tag Cm_topology Cm_util List Printf

@@ -1,0 +1,1 @@
+examples/ha_placement.ml: Array Cm_placement Cm_tag Cm_topology Format List Printf

@@ -1,0 +1,1 @@
+examples/ha_placement.mli:

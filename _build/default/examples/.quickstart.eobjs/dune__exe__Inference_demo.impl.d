@@ -1,0 +1,1 @@
+examples/inference_demo.ml: Array Cm_inference Cm_placement Cm_tag Cm_topology Cm_util Float Format Printf

@@ -1,0 +1,1 @@
+examples/storm_pipeline.ml: Array Cm_placement Cm_tag Cm_topology Format List Option Printf String

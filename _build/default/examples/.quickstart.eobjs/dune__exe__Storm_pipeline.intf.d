@@ -1,0 +1,1 @@
+examples/storm_pipeline.mli:

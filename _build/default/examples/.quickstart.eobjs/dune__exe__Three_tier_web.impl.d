@@ -1,0 +1,1 @@
+examples/three_tier_web.ml: Cm_enforce Cm_placement Cm_sim Cm_tag Cm_topology Cm_util Format Printf

@@ -1,0 +1,94 @@
+(* The whole CloudMirror system in one program (paper Sec. 1's three
+   components):
+
+   1. tenants describe applications as TAGs (here: inferred from traffic
+      for one tenant that does not know its own structure);
+   2. the placement algorithm deploys them with bandwidth reservations;
+   3. runtime enforcement partitions the guarantees per VM pair, and the
+      flow-level evaluation confirms every promise survives arbitrary
+      congestion — then shows the same promises break if any component
+      is removed.
+
+   Run with:  dune exec examples/full_system.exe *)
+
+module Tag = Cm_tag.Tag
+module Tree = Cm_topology.Tree
+module Types = Cm_placement.Types
+module Cm = Cm_placement.Cm
+module E2e = Cm_e2e.End_to_end
+
+let () =
+  let rng = Cm_util.Rng.create 2014 in
+  let tree =
+    Tree.create
+      {
+        Tree.degrees = [ 2; 8 ];
+        slots_per_server = 8;
+        server_up_mbps = 1000.;
+        oversub = [ 4. ];
+      }
+  in
+  let sched = Cm.create tree in
+
+  (* Component 1: TAG models.  Two tenants know their structure; a third
+     only has traffic measurements, so we infer its TAG. *)
+  let web =
+    Cm_tag.Examples.three_tier ~n_web:6 ~n_logic:6 ~n_db:4 ~b1:120. ~b2:60.
+      ~b3:40. ()
+  in
+  let analytics = Cm_tag.Examples.storm ~s:5 ~b:90. in
+  let unknown =
+    Tag.create ~name:"legacy-app"
+      ~components:[ ("frontend", 4); ("store", 6) ]
+      ~edges:[ (0, 1, 80., 55.); (1, 0, 55., 80.); (1, 1, 35., 35.) ]
+      ()
+  in
+  let tm =
+    Cm_inference.Traffic_matrix.generate ~imbalance:0.6 ~noise_prob:0.02 ~rng
+      unknown
+  in
+  let inferred = Cm_inference.Infer.infer tm in
+  Printf.printf
+    "inferred the legacy tenant's TAG from %d traffic epochs (AMI %.2f vs \
+     hidden truth)\n"
+    (Array.length tm.epochs) inferred.ami_vs_truth;
+
+  (* Component 2: placement with reservations. *)
+  let tenants =
+    List.filter_map
+      (fun tag ->
+        match Cm.place sched (Types.request tag) with
+        | Ok p ->
+            Printf.printf "deployed %-12s (%2d VMs)\n" (Tag.name tag)
+              (Types.vm_count p.locations);
+            Some (tag, p.Types.locations)
+        | Error r ->
+            Printf.printf "rejected %s: %s\n" (Tag.name tag)
+              (Types.reject_to_string r);
+            None)
+      [ web; analytics; inferred.inferred ]
+  in
+  let up, down = Tree.reserved_at_level tree ~level:1 in
+  Printf.printf "rack uplinks now carry %.1f/%.1f Gbps reservations\n\n"
+    (up /. 1000.) (down /. 1000.);
+
+  (* Component 3: enforcement, evaluated under hostile congestion. *)
+  Printf.printf
+    "%-22s %8s %10s %10s\n" "configuration" "edges" "violated" "shortfall";
+  List.iter
+    (fun (label, mode) ->
+      let rng = Cm_util.Rng.create 7 in
+      let r =
+        E2e.evaluate ~background_flows:500 ~rng ~tree ~tenants ~mode ()
+      in
+      Printf.printf "%-22s %8d %10d %9.1f%%\n" label r.edges_total
+        r.edges_violated
+        (100. *. r.mean_shortfall))
+    [
+      ("TAG enforcement", E2e.Tag_protection);
+      ("hose enforcement", E2e.Hose_protection);
+      ("no enforcement", E2e.No_protection);
+    ];
+  Printf.printf
+    "\nWith all three components in place, every per-pair promise holds\n\
+     under full backlog plus 500 hostile background flows.\n"

@@ -1,0 +1,60 @@
+(* Quickstart: describe an application as a TAG, deploy it on a simulated
+   datacenter with bandwidth guarantees, inspect the result, release it.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Tag = Cm_tag.Tag
+module Tree = Cm_topology.Tree
+module Types = Cm_placement.Types
+module Cm = Cm_placement.Cm
+
+let () =
+  (* 1. Model the application: a small web service.  Components carry a
+     VM count; directed edges carry per-VM <send, receive> guarantees in
+     Mbps; a self-loop is an intra-tier hose. *)
+  let app =
+    Tag.create ~name:"my-service"
+      ~components:[ ("frontend", 4); ("backend", 6); ("cache", 2) ]
+      ~edges:
+        [
+          (0, 1, 300., 200.);  (* each frontend sends 300 to backends *)
+          (1, 0, 200., 300.);  (* and receives the responses back *)
+          (1, 2, 100., 300.);  (* backends talk to the cache pair *)
+          (2, 1, 300., 100.);
+          (1, 1, 50., 50.);    (* backend-to-backend hose *)
+        ]
+      ()
+  in
+  Format.printf "%a@.@." Tag.pp app;
+
+  (* 2. Build a datacenter: the paper's simulated topology - 2048 servers
+     in a 3-level tree, 25 VM slots each, 10 GbE, 32:8:1 oversubscribed. *)
+  let tree = Tree.create_default () in
+  Printf.printf "datacenter: %d servers, %d slots, %d levels\n\n"
+    (Tree.n_servers tree) (Tree.total_slots tree) (Tree.n_levels tree);
+
+  (* 3. Place it with CloudMirror (Algorithm 1). *)
+  let scheduler = Cm.create tree in
+  match Cm.place scheduler (Types.request app) with
+  | Error reason ->
+      Printf.printf "rejected: %s\n" (Types.reject_to_string reason)
+  | Ok placement ->
+      Printf.printf "placed %d VMs:\n" (Types.vm_count placement.locations);
+      Array.iteri
+        (fun c locations ->
+          Printf.printf "  %-9s ->" (Tag.component_name app c);
+          List.iter
+            (fun (server, n) -> Printf.printf " server %d (x%d)" server n)
+            locations;
+          print_newline ())
+        placement.locations;
+
+      (* 4. The guarantees are now backed by link reservations. *)
+      let up, down = Tree.reserved_at_level tree ~level:0 in
+      Printf.printf
+        "\nreserved on server uplinks: %.0f Mbps up / %.0f Mbps down\n" up down;
+
+      (* 5. Tenants release their resources exactly on departure. *)
+      Cm.release scheduler placement;
+      let up, down = Tree.reserved_at_level tree ~level:0 in
+      Printf.printf "after release: %.0f Mbps up / %.0f Mbps down\n" up down

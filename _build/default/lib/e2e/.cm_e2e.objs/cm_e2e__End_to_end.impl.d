@@ -1,0 +1,1 @@
+lib/e2e/end_to_end.ml: Array Cm_enforce Cm_placement Cm_tag Cm_topology Cm_util Float Fun Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/e2e/end_to_end.mli: Cm_placement Cm_tag Cm_topology Cm_util

@@ -1,0 +1,1 @@
+lib/enforce/elastic.ml: Array Cm_tag Float Hashtbl List Option

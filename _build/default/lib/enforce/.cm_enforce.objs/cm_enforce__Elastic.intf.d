@@ -1,0 +1,1 @@
+lib/enforce/elastic.mli: Cm_tag

@@ -1,0 +1,1 @@
+lib/enforce/maxmin.ml: Array Float Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/enforce/maxmin.mli:

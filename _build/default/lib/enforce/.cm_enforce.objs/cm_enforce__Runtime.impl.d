@@ -1,0 +1,1 @@
+lib/enforce/runtime.ml: Cm_tag Elastic Float Hashtbl List Maxmin Option Printf

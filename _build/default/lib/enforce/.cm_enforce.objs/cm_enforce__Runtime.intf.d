@@ -1,0 +1,1 @@
+lib/enforce/runtime.mli: Cm_tag Elastic Maxmin

@@ -1,0 +1,1 @@
+lib/enforce/scenario.ml: Array Cm_tag Elastic List Maxmin

@@ -1,0 +1,1 @@
+lib/enforce/scenario.mli: Elastic

@@ -1,0 +1,149 @@
+type link = { link_id : int; capacity : float }
+
+type flow = {
+  flow_id : int;
+  path : int list;
+  demand : float;
+  guarantee : float;
+}
+
+let eps = 1e-9
+
+(* Progressive filling: raise all unfrozen flows' rates together; at each
+   step the next event is either a flow reaching its demand or a link
+   saturating, which freezes every flow crossing it.  Per-link active
+   counters are maintained incrementally so large populations (the
+   end-to-end evaluation runs thousands of flows) stay O((F + L) * rounds). *)
+let fill ~caps ~(flows : flow list) ~(base : (int, float) Hashtbl.t) =
+  (* caps: link_id -> remaining capacity. base: flow_id -> already granted
+     rate (guarantee phase); we allocate increments on top. *)
+  let remaining = Hashtbl.copy caps in
+  let n_active : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let granted = Hashtbl.create 16 in
+  let residual_demand f =
+    let b = Option.value ~default:0. (Hashtbl.find_opt base f.flow_id) in
+    Float.max 0. (f.demand -. b)
+  in
+  List.iter (fun f -> Hashtbl.replace granted f.flow_id 0.) flows;
+  let active =
+    ref (List.filter (fun f -> residual_demand f > eps) flows)
+  in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun l ->
+          Hashtbl.replace n_active l
+            (1 + Option.value ~default:0 (Hashtbl.find_opt n_active l)))
+        f.path)
+    !active;
+  let deactivate f =
+    List.iter
+      (fun l -> Hashtbl.replace n_active l (Hashtbl.find n_active l - 1))
+      f.path
+  in
+  let rec round () =
+    if !active = [] then ()
+    else begin
+      (* Smallest per-flow increment that freezes something. *)
+      let link_limit =
+        Hashtbl.fold
+          (fun l n acc ->
+            if n = 0 then acc
+            else Float.min acc (Hashtbl.find remaining l /. float_of_int n))
+          n_active infinity
+      in
+      let demand_limit =
+        List.fold_left
+          (fun acc f ->
+            let got = Hashtbl.find granted f.flow_id in
+            Float.min acc (residual_demand f -. got))
+          infinity !active
+      in
+      let inc = Float.min link_limit demand_limit in
+      if inc = infinity then
+        (* Only unconstrained infinite-demand flows remain; stop. *)
+        ()
+      else begin
+        let inc = Float.max inc 0. in
+        List.iter
+          (fun f ->
+            Hashtbl.replace granted f.flow_id
+              (Hashtbl.find granted f.flow_id +. inc);
+            List.iter
+              (fun l ->
+                Hashtbl.replace remaining l (Hashtbl.find remaining l -. inc))
+              f.path)
+          !active;
+        (* Freeze demand-satisfied flows and flows on saturated links. *)
+        let saturated l = Hashtbl.find remaining l <= eps in
+        let still_active f =
+          let keep =
+            let got = Hashtbl.find granted f.flow_id in
+            residual_demand f -. got > eps
+            && not (List.exists saturated f.path)
+          in
+          if not keep then deactivate f;
+          keep
+        in
+        let before = List.length !active in
+        let next = List.filter still_active !active in
+        if List.length next = before && inc <= eps then ()
+        else begin
+          active := next;
+          round ()
+        end
+      end
+    end
+  in
+  round ();
+  granted
+
+let check_paths ~links ~flows =
+  let known = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace known l.link_id ()) links;
+  List.iter
+    (fun f ->
+      List.iter
+        (fun l ->
+          if not (Hashtbl.mem known l) then
+            invalid_arg (Printf.sprintf "Maxmin: unknown link %d" l))
+        f.path)
+    flows
+
+let caps_of links =
+  let caps = Hashtbl.create 16 in
+  List.iter (fun l -> Hashtbl.replace caps l.link_id l.capacity) links;
+  caps
+
+let max_min ~links ~flows =
+  check_paths ~links ~flows;
+  let base = Hashtbl.create 16 in
+  let granted = fill ~caps:(caps_of links) ~flows ~base in
+  Array.of_list
+    (List.map (fun f -> (f.flow_id, Hashtbl.find granted f.flow_id)) flows)
+
+let with_guarantees ~links ~flows =
+  check_paths ~links ~flows;
+  let caps = caps_of links in
+  (* Phase 1: hand out guarantees (capped by demand). *)
+  let base = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let g = Float.min f.guarantee f.demand in
+      Hashtbl.replace base f.flow_id g;
+      List.iter
+        (fun l ->
+          let c = Hashtbl.find caps l -. g in
+          if c < -.eps then
+            invalid_arg "Maxmin.with_guarantees: infeasible guarantees";
+          Hashtbl.replace caps l (Float.max 0. c))
+        f.path)
+    flows;
+  (* Phase 2: share what is left, work-conservingly. *)
+  let granted = fill ~caps ~flows ~base in
+  Array.of_list
+    (List.map
+       (fun f ->
+         ( f.flow_id,
+           Hashtbl.find base f.flow_id +. Hashtbl.find granted f.flow_id ))
+       flows)

@@ -1,0 +1,27 @@
+(** Flow-level bandwidth sharing: progressive-filling max-min fairness
+    with per-flow demands, plus a two-phase variant that honours minimum
+    guarantees first and shares the residual capacity work-conservingly —
+    the fluid-level behaviour of ElasticSwitch's rate allocation over
+    long-lived TCP flows (paper §5.2). *)
+
+type link = { link_id : int; capacity : float }
+
+type flow = {
+  flow_id : int;
+  path : int list;  (** Link ids traversed; may be empty (unconstrained). *)
+  demand : float;  (** Offered load; [infinity] for a backlogged TCP flow. *)
+  guarantee : float;  (** Minimum rate protected by enforcement; 0 = none. *)
+}
+
+val max_min : links:link list -> flows:flow list -> (int * float) array
+(** Plain max-min fair allocation (guarantees ignored): progressive
+    filling until every flow is frozen by its demand or a bottleneck
+    link.  Returns [(flow_id, rate)] pairs, in input order.
+
+    @raise Invalid_argument if a flow references an unknown link. *)
+
+val with_guarantees : links:link list -> flows:flow list -> (int * float) array
+(** Two-phase allocation: each flow first receives
+    [min demand guarantee]; the remaining capacity is then distributed
+    max-min among flows with residual demand.  Guarantees must be
+    feasible (their sum fits every link); [Invalid_argument] otherwise. *)

@@ -1,0 +1,103 @@
+type config = { probe_gain : float; decay : float; headroom : float }
+
+let default_config = { probe_gain = 0.1; decay = 0.1; headroom = 0. }
+
+type flow_spec = {
+  pair : Elastic.active_pair;
+  path : int list;
+  demand : float;
+}
+
+type t = {
+  cfg : config;
+  tag : Cm_tag.Tag.t;
+  enforcement : Elastic.enforcement;
+  capacities : (int, float) Hashtbl.t;
+  (* Rate limiter per pair, persisted across periods. *)
+  limits : (Elastic.active_pair, float) Hashtbl.t;
+}
+
+let create ?(config = default_config) ~tag ~enforcement ~links () =
+  let capacities = Hashtbl.create 16 in
+  List.iter
+    (fun (l : Maxmin.link) -> Hashtbl.replace capacities l.link_id l.capacity)
+    links;
+  { cfg = config; tag; enforcement; capacities; limits = Hashtbl.create 32 }
+
+let capacity_of t l =
+  match Hashtbl.find_opt t.capacities l with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Runtime: unknown link %d" l)
+
+let step t ~flows =
+  (* 1. GP: per-pair guarantees from the current active set. *)
+  let pairs = List.map (fun f -> f.pair) flows in
+  let demands = List.map (fun f -> f.demand) flows in
+  let guarantees =
+    Elastic.pair_guarantees ~demands t.tag t.enforcement ~pairs
+  in
+  let guarantee_of = Hashtbl.create 16 in
+  List.iter (fun (p, g) -> Hashtbl.replace guarantee_of p g) guarantees;
+  (* 2. Current sending rates (limiter, capped by demand). *)
+  let limit f =
+    let g = Option.value ~default:0. (Hashtbl.find_opt guarantee_of f.pair) in
+    let l = Option.value ~default:g (Hashtbl.find_opt t.limits f.pair) in
+    Float.min f.demand (Float.max g l)
+  in
+  let loads = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let r = limit f in
+      List.iter
+        (fun l ->
+          Hashtbl.replace loads l
+            (r +. Option.value ~default:0. (Hashtbl.find_opt loads l)))
+        f.path)
+    flows;
+  let congested f =
+    List.exists
+      (fun l ->
+        Option.value ~default:0. (Hashtbl.find_opt loads l)
+        > capacity_of t l *. (1. -. t.cfg.headroom) +. 1e-9)
+      f.path
+  in
+  (* 3. Throughput: proportional loss on each overloaded link. *)
+  let throughput f =
+    let r = limit f in
+    List.fold_left
+      (fun acc l ->
+        let load = Option.value ~default:0. (Hashtbl.find_opt loads l) in
+        let cap = capacity_of t l in
+        if load > cap && load > 0. then acc *. (cap /. load) else acc)
+      r f.path
+  in
+  let result = List.map (fun f -> (f.pair, throughput f)) flows in
+  (* 4. RA: adjust limiters for the next period. *)
+  let next_limits = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let g = Option.value ~default:0. (Hashtbl.find_opt guarantee_of f.pair) in
+      let r = limit f in
+      let r' =
+        if congested f then
+          (* Keep the guarantee, decay the work-conserving bonus. *)
+          g +. ((r -. g) *. (1. -. t.cfg.decay))
+        else
+          (* Probe upward proportionally to the guarantee (plus a small
+             constant so zero-guarantee flows still probe). *)
+          r +. (t.cfg.probe_gain *. Float.max g 1.)
+      in
+      Hashtbl.replace next_limits f.pair (Float.min f.demand r'))
+    flows;
+  Hashtbl.reset t.limits;
+  Hashtbl.iter (fun p r -> Hashtbl.replace t.limits p r) next_limits;
+  result
+
+let run t ~flows ~periods =
+  let rec go n last =
+    if n <= 0 then last else go (n - 1) (step t ~flows)
+  in
+  go (max 1 periods) []
+
+let throughput_of result pair =
+  match List.assoc_opt pair result with Some r -> r | None -> 0.

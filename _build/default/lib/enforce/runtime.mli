@@ -1,0 +1,64 @@
+(** Discrete-time emulation of the ElasticSwitch control loop (paper
+    §5.2; Popa et al. 2013).
+
+    ElasticSwitch enforces hose-style guarantees with two periodic
+    layers: {e guarantee partitioning} (GP) turns per-VM hose guarantees
+    into per-VM-pair minimums based on which pairs are currently active,
+    and {e rate allocation} (RA) lets pairs exceed their guarantee to
+    grab spare bandwidth, backing off multiplicatively when the path is
+    congested — TCP-like AIMD weighted by the pair guarantee.
+
+    This module runs that loop at fluid granularity: each control period
+    recomputes GP from the current demands ({!Elastic.pair_guarantees}),
+    adjusts every flow's rate limit (additive probe proportional to its
+    guarantee, multiplicative decay of the above-guarantee bonus on
+    congestion), and derives per-flow throughput with proportional loss
+    on overloaded links.  Steady state converges to the static
+    allocation of {!Maxmin.with_guarantees}; the transient shows how
+    quickly guarantees are restored when load changes — the dynamic
+    version of Fig. 13. *)
+
+type config = {
+  probe_gain : float;
+      (** Additive increase per period, as a fraction of the pair
+          guarantee (default 0.1). *)
+  decay : float;
+      (** Multiplicative decrease of the above-guarantee bonus on
+          congestion (default 0.1). *)
+  headroom : float;
+      (** Utilization above [1 - headroom] counts as congestion; the
+          default 0 is a pure loss signal. *)
+}
+
+val default_config : config
+
+type flow_spec = {
+  pair : Elastic.active_pair;
+  path : int list;  (** Link ids (see {!Maxmin.link}). *)
+  demand : float;  (** Offered load this period; [infinity] = backlogged. *)
+}
+
+type t
+
+val create :
+  ?config:config ->
+  tag:Cm_tag.Tag.t ->
+  enforcement:Elastic.enforcement ->
+  links:Maxmin.link list ->
+  unit ->
+  t
+(** A runtime bound to one tenant's TAG and a set of links. *)
+
+val step : t -> flows:flow_spec list -> (Elastic.active_pair * float) list
+(** Run one control period with the given active flows (the set may
+    change between periods — pairs keep their limiter state while
+    present) and return each flow's achieved throughput.  Flows absent
+    from [flows] are forgotten. *)
+
+val run : t -> flows:flow_spec list -> periods:int -> (Elastic.active_pair * float) list
+(** [step] repeated with a fixed flow set; returns the final period's
+    throughputs. *)
+
+val throughput_of :
+  (Elastic.active_pair * float) list -> Elastic.active_pair -> float
+(** Lookup helper (0 if the pair is absent). *)

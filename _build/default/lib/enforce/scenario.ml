@@ -1,0 +1,75 @@
+module Tag = Cm_tag.Tag
+module Examples = Cm_tag.Examples
+
+type fig13_point = { n_senders : int; x_to_z : float; c2_to_z : float }
+
+let bottleneck_link = 0
+
+(* Build flows into VM Z over the single bottleneck link, with pair
+   guarantees from the requested enforcement mode. *)
+let fig13_point enforcement ~n_senders =
+  let tag = Examples.fig13 () in
+  (* C2 VM 0 is Z; VMs 1..n are senders. *)
+  let x = { Elastic.comp = 0; vm = 0 } in
+  let z = { Elastic.comp = 1; vm = 0 } in
+  let pairs =
+    { Elastic.src = x; dst = z }
+    :: List.init n_senders (fun i ->
+           { Elastic.src = { Elastic.comp = 1; vm = i + 1 }; dst = z })
+  in
+  let guarantees = Elastic.pair_guarantees tag enforcement ~pairs in
+  let flows =
+    List.mapi
+      (fun i ((_ : Elastic.active_pair), g) ->
+        {
+          Maxmin.flow_id = i;
+          path = [ bottleneck_link ];
+          demand = infinity;
+          guarantee = g;
+        })
+      guarantees
+  in
+  let links = [ { Maxmin.link_id = bottleneck_link; capacity = 1000. } ] in
+  let rates = Maxmin.with_guarantees ~links ~flows in
+  let rate_of i = snd rates.(i) in
+  {
+    n_senders;
+    x_to_z = rate_of 0;
+    c2_to_z =
+      List.fold_left ( +. ) 0. (List.init n_senders (fun i -> rate_of (i + 1)));
+  }
+
+let fig13 enforcement ~max_senders =
+  List.init (max_senders + 1) (fun n -> fig13_point enforcement ~n_senders:n)
+
+type fig4_result = { web_to_logic : float; db_to_logic : float }
+
+let fig4 enforcement =
+  let tag = Examples.fig4 () in
+  let logic = { Elastic.comp = 1; vm = 0 } in
+  let pairs =
+    List.init 2 (fun i ->
+        { Elastic.src = { Elastic.comp = 0; vm = i }; dst = logic })
+    @ List.init 2 (fun i ->
+          { Elastic.src = { Elastic.comp = 2; vm = i }; dst = logic })
+  in
+  let guarantees = Elastic.pair_guarantees tag enforcement ~pairs in
+  (* Each sender momentarily offers 250 Mbps (500 per tier). *)
+  let flows =
+    List.mapi
+      (fun i ((_ : Elastic.active_pair), g) ->
+        {
+          Maxmin.flow_id = i;
+          path = [ bottleneck_link ];
+          demand = 250.;
+          guarantee = g;
+        })
+      guarantees
+  in
+  let links = [ { Maxmin.link_id = bottleneck_link; capacity = 600. } ] in
+  let rates = Maxmin.with_guarantees ~links ~flows in
+  let rate_of i = snd rates.(i) in
+  {
+    web_to_logic = rate_of 0 +. rate_of 1;
+    db_to_logic = rate_of 2 +. rate_of 3;
+  }

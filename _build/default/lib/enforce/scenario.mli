@@ -1,0 +1,25 @@
+(** The paper's two enforcement experiments, run on the flow-level
+    simulator: Fig. 13 (TAG guarantees under growing intra-tier
+    congestion) and the Fig. 4 congestion example that motivates TAG. *)
+
+type fig13_point = {
+  n_senders : int;  (** Senders in tier C2 (0..5). *)
+  x_to_z : float;  (** Throughput of the C1 VM X toward Z (Mbps). *)
+  c2_to_z : float;  (** Aggregate throughput of C2 senders toward Z. *)
+}
+
+val fig13 : Elastic.enforcement -> max_senders:int -> fig13_point list
+(** §5.2 prototype scenario: B1 = B2 = Bin2 = 450 Mbps, a 1 Gbps
+    bottleneck into VM Z, 10% of capacity left unreserved, every flow
+    backlogged.  With [Tag_gp] the X->Z throughput stays at >= 450 as C2
+    senders are added; with [Hose_gp] it collapses. *)
+
+type fig4_result = {
+  web_to_logic : float;  (** Aggregate web-tier throughput into logic. *)
+  db_to_logic : float;
+}
+
+val fig4 : Elastic.enforcement -> fig4_result
+(** Fig. 4: B1 = 500, B2 = 100, 600 Mbps bottleneck toward the logic VM;
+    web and DB tiers each momentarily offer 500 Mbps.  Hose enforcement
+    yields ~300:300 (failing the 500 guarantee); TAG yields 500:100. *)

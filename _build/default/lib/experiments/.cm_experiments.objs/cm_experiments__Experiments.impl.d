@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Array Cm_e2e Cm_enforce Cm_inference Cm_placement Cm_sim Cm_tag Cm_topology Cm_util Cm_workload Hashtbl List Printf String Sys

@@ -1,0 +1,136 @@
+(** One entry point per table / figure of the paper's evaluation, each
+    returning ready-to-print {!Cm_util.Table.t} values.  The benchmark
+    harness ([bench/main.exe]) runs them all; the CLI
+    ([bin/cloudmirror.exe]) exposes them individually.
+
+    Every experiment is deterministic given [seed].  [arrivals] scales
+    the Poisson simulations: the paper uses 10,000 arrivals per point;
+    smaller values run faster with the same qualitative shape. *)
+
+type sim_params = {
+  seed : int;
+  arrivals : int;
+  bmax : float;  (** Per-VM demand of the most demanding tenant (Mbps). *)
+  load : float;  (** Offered datacenter load in (0, 1]. *)
+}
+
+val default_params : sim_params
+(** seed 42, 10,000 arrivals, Bmax 800 Mbps, load 0.9 — the paper's
+    defaults where stated. *)
+
+(** {1 Motivation figures} *)
+
+val fig1 : unit -> Cm_util.Table.t list
+(** Fig. 1: bandwidth-to-CPU ratios of workloads vs datacenters. *)
+
+val fig2 : unit -> Cm_util.Table.t
+(** Fig. 2 / §2.2: hose over-reservation on the 3-tier web example. *)
+
+val fig3 : unit -> Cm_util.Table.t
+(** Fig. 3 / §2.2: VOC over-reservation on the Storm example. *)
+
+val fig4 : unit -> Cm_util.Table.t
+(** Fig. 4: hose vs TAG enforcement under congestion (flow simulator). *)
+
+val fig6 : unit -> Cm_util.Table.t
+(** Fig. 6: balanced placement vs blind colocation on one rack. *)
+
+(** {1 Placement evaluation (§5.1)} *)
+
+val table1 : seed:int -> bmax:float -> Cm_util.Table.t
+(** Table 1: reserved bandwidth per level for CM+TAG / CM+VOC / OVOC. *)
+
+val table1_all_workloads : seed:int -> bmax:float -> Cm_util.Table.t list
+(** §5.1: the Table 1 experiment repeated on the hpcloud-like and
+    synthetic pools ("yielded results similar to Table 1"). *)
+
+val fig7 : sim_params -> loads:float list -> bmaxes:float list -> Cm_util.Table.t
+(** Fig. 7: rejection rates vs Bmax at each load (BW and VM metrics,
+    CM vs OVOC). *)
+
+val fig8 : sim_params -> loads:float list -> Cm_util.Table.t
+(** Fig. 8: rejection rates vs load at fixed Bmax. *)
+
+val fig9 : sim_params -> ratios:int list -> Cm_util.Table.t
+(** Fig. 9: rejected bandwidth vs topology oversubscription ratio. *)
+
+val fig10 : sim_params -> Cm_util.Table.t
+(** Fig. 10: ablation — Coloc+Balance / Coloc / Balance / OVOC, plus the
+    OVC (homogeneous hose) rendering §5.1 dismisses. *)
+
+val replicates :
+  sim_params -> seeds:int list -> Cm_util.Table.t
+(** Seed-robustness check: the fig7-style headline point (CM vs OVOC
+    rejected bandwidth) replicated across seeds, with mean and standard
+    deviation. *)
+
+val fig11 : sim_params -> rwcs_list:float list -> Cm_util.Table.t
+(** Fig. 11: guaranteed WCS — achieved WCS and rejected BW vs required
+    WCS for CM+HA and OVOC+HA (LAA = server). *)
+
+val fig12 : ?laa_level:int -> sim_params -> bmaxes:float list -> Cm_util.Table.t
+(** Fig. 12: CM vs CM+HA(50%) vs CM+oppHA across Bmax.  [laa_level]
+    (default 0 = server) set to 1 reproduces the paper's remark that
+    with LAA=ToR the patterns are "very similar ... except that CM+HA
+    rejected more BW". *)
+
+(** {1 Enforcement prototype (§5.2)} *)
+
+val fig13 : unit -> Cm_util.Table.t
+(** Fig. 13: X->Z and intra-tier throughput vs number of C2 senders,
+    under TAG and (for contrast) hose enforcement. *)
+
+(** {1 TAG inference (§3)} *)
+
+type ami_summary = {
+  mean_ami : float;
+  median_ami : float;
+  n_tenants : int;
+  mean_components_truth : float;
+  mean_components_inferred : float;
+}
+
+val ami : seed:int -> ?n:int -> ?max_vms:int -> unit -> Cm_util.Table.t * ami_summary
+(** §3: infer TAGs for a bing-like pool from noisy traffic matrices and
+    score against ground truth (paper reports mean AMI 0.54 over 80
+    applications).  [max_vms] skips tenants larger than the cap (default
+    no cap). *)
+
+val ami_sensitivity : seed:int -> ?n:int -> unit -> Cm_util.Table.t
+(** §3/§6: the "rigorous evaluation" sweep — inference AMI as a function
+    of load-balancer imbalance, background-noise probability, and
+    Louvain resolution. *)
+
+val end_to_end : seed:int -> bmax:float -> Cm_util.Table.t
+(** System integration (components 1+2+3 together): deploy bing-like
+    tenants with CloudMirror, back-fill the fabric with unguaranteed
+    backlogged traffic, and measure per-pair guarantee violations under
+    no / hose / TAG enforcement on the flow-level simulator. *)
+
+val prediction : seed:int -> Cm_util.Table.t
+(** §6 extension: history-based guarantee prediction (Cicada-style) —
+    over-provisioning vs violation-rate tradeoff of the predictor family
+    on bing-like tenants' traffic. *)
+
+val optimality : seed:int -> ?instances:int -> unit -> Cm_util.Table.t
+(** Heuristic-vs-oracle gap: random micro instances solved both by
+    CloudMirror and by exhaustive search (§4.4 calls the problem
+    NP-hard; this measures what the heuristic leaves on the table). *)
+
+val defrag : seed:int -> ?churn:int -> unit -> Cm_util.Table.t
+(** Footnote 8 extension: after heavy arrival/departure churn, run the
+    migration sweep and report the switch-level bandwidth reclaimed. *)
+
+val profiles : seed:int -> Cm_util.Table.t
+(** §6 extension: temporal-multiplexing headroom of time-varying
+    guarantees — sum-of-peaks vs peak-of-sums over the bing-like pool
+    with randomly-phased diurnal profiles, for several population
+    sizes. *)
+
+(** {1 Runtime (§5.1, "Algorithm runtime")} *)
+
+val runtime_probe :
+  seed:int -> sizes:int list -> Cm_util.Table.t
+(** Single-shot wall-clock probe of place+release latency per algorithm
+    and tenant size (complements the Bechamel microbenchmarks in
+    [bench/main.exe]). *)

@@ -1,0 +1,1 @@
+lib/inference/ami.ml: Array Float Hashtbl Option

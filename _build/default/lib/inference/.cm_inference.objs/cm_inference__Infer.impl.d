@@ -1,0 +1,1 @@
+lib/inference/infer.ml: Ami Array Cm_tag Float List Louvain Printf Similarity Traffic_matrix

@@ -1,0 +1,1 @@
+lib/inference/infer.mli: Cm_tag Traffic_matrix

@@ -1,0 +1,1 @@
+lib/inference/louvain.ml: Array Fun Hashtbl Option

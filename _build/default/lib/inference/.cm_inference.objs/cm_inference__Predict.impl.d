@@ -1,0 +1,1 @@
+lib/inference/predict.ml: Array Cm_util Float Printf Traffic_matrix

@@ -1,0 +1,1 @@
+lib/inference/predict.mli: Traffic_matrix

@@ -1,0 +1,1 @@
+lib/inference/similarity.ml: Array Float

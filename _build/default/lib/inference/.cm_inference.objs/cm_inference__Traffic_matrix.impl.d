@@ -1,0 +1,1 @@
+lib/inference/traffic_matrix.ml: Array Buffer Cm_tag Cm_util List Printf String

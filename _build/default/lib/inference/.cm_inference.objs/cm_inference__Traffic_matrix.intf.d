@@ -1,0 +1,1 @@
+lib/inference/traffic_matrix.mli: Cm_tag Cm_util

@@ -1,0 +1,96 @@
+let counts_of labels =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun l ->
+      Hashtbl.replace tbl l (1 + Option.value ~default:0 (Hashtbl.find_opt tbl l)))
+    labels;
+  Hashtbl.fold (fun _ n acc -> n :: acc) tbl [] |> Array.of_list
+
+let entropy labels =
+  let n = Array.length labels in
+  if n = 0 then invalid_arg "Ami.entropy: empty labelling";
+  let counts = counts_of labels in
+  let nf = float_of_int n in
+  Array.fold_left
+    (fun acc c ->
+      if c = 0 then acc
+      else
+        let p = float_of_int c /. nf in
+        acc -. (p *. log p))
+    0. counts
+
+let contingency a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Ami: labelling length mismatch";
+  if Array.length a = 0 then invalid_arg "Ami: empty labelling";
+  let tbl = Hashtbl.create 32 in
+  Array.iteri
+    (fun i la ->
+      let key = (la, b.(i)) in
+      Hashtbl.replace tbl key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    a;
+  tbl
+
+let mutual_information a b =
+  let n = float_of_int (Array.length a) in
+  let joint = contingency a b in
+  let row = Hashtbl.create 16 and col = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (i, j) c ->
+      Hashtbl.replace row i (c + Option.value ~default:0 (Hashtbl.find_opt row i));
+      Hashtbl.replace col j (c + Option.value ~default:0 (Hashtbl.find_opt col j)))
+    joint;
+  Hashtbl.fold
+    (fun (i, j) c acc ->
+      let pij = float_of_int c /. n in
+      let pi = float_of_int (Hashtbl.find row i) /. n in
+      let pj = float_of_int (Hashtbl.find col j) /. n in
+      acc +. (pij *. log (pij /. (pi *. pj))))
+    joint 0.
+
+(* Exact E[MI] under the hypergeometric model (Vinh et al., Eq. 24). *)
+let expected_mi a b =
+  let n = Array.length a in
+  let nf = float_of_int n in
+  let ai = counts_of a and bj = counts_of b in
+  (* log k! table. *)
+  let lf = Array.make (n + 1) 0. in
+  for k = 2 to n do
+    lf.(k) <- lf.(k - 1) +. log (float_of_int k)
+  done;
+  let emi = ref 0. in
+  Array.iter
+    (fun a_i ->
+      Array.iter
+        (fun b_j ->
+          let lo = max 1 (a_i + b_j - n) and hi = min a_i b_j in
+          for nij = lo to hi do
+            let nijf = float_of_int nij in
+            let term =
+              nijf /. nf
+              *. log (nf *. nijf /. (float_of_int a_i *. float_of_int b_j))
+            in
+            let logp =
+              lf.(a_i) +. lf.(b_j) +. lf.(n - a_i) +. lf.(n - b_j)
+              -. lf.(n) -. lf.(nij) -. lf.(a_i - nij) -. lf.(b_j - nij)
+              -. lf.(n - a_i - b_j + nij)
+            in
+            emi := !emi +. (term *. exp logp)
+          done)
+        bj)
+    ai;
+  !emi
+
+let ami ?(average = `Max) a b =
+  let mi = mutual_information a b in
+  let emi = expected_mi a b in
+  let hu = entropy a and hv = entropy b in
+  let norm =
+    match average with
+    | `Max -> Float.max hu hv
+    | `Arithmetic -> (hu +. hv) /. 2.
+  in
+  let denom = norm -. emi in
+  if Float.abs denom < 1e-12 then if Float.abs (mi -. emi) < 1e-12 then 1. else 0.
+  else Float.max (-1.) (Float.min 1. ((mi -. emi) /. denom))

@@ -1,0 +1,24 @@
+(** End-to-end TAG inference (paper §3, "Producing TAG Models"): from a
+    time series of VM-to-VM traffic matrices, cluster VMs with similar
+    communication patterns into components and derive trunk / self-loop
+    guarantees from the peak aggregate component-to-component rates
+    (peaks of sums, not sums of peaks — the statistical-multiplexing
+    saving the TAG model is designed to keep). *)
+
+type result = {
+  labels : int array;  (** Inferred component of each VM. *)
+  inferred : Cm_tag.Tag.t;  (** Reconstructed TAG. *)
+  ami_vs_truth : float;  (** Adjusted mutual information vs ground truth. *)
+  n_components : int;
+}
+
+val infer : ?resolution:float -> Traffic_matrix.t -> result
+(** [resolution] is Louvain's gamma (default 1); larger values split
+    more aggressively — useful when under-segmentation merges tiers. *)
+
+val guarantees_of_labels :
+  Traffic_matrix.t -> int array -> Cm_tag.Tag.t
+(** Reconstruct a TAG from a given labelling: for each ordered component
+    pair the trunk guarantee is the over-epochs peak of the aggregate
+    rate, divided by the tier sizes into per-VM [<S, R>]; intra-component
+    traffic becomes a self-loop sized the same way. *)

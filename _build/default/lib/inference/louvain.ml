@@ -1,0 +1,114 @@
+let degrees adj =
+  Array.map (fun row -> Array.fold_left ( +. ) 0. row) adj
+
+let renumber labels =
+  let mapping = Hashtbl.create 16 in
+  let next = ref 0 in
+  Array.map
+    (fun l ->
+      match Hashtbl.find_opt mapping l with
+      | Some x -> x
+      | None ->
+          let x = !next in
+          Hashtbl.add mapping l x;
+          incr next;
+          x)
+    labels
+
+let modularity ?(resolution = 1.) adj labels =
+  let n = Array.length adj in
+  let k = degrees adj in
+  let m2 = Array.fold_left ( +. ) 0. k in
+  if m2 = 0. then 0.
+  else begin
+    let q = ref 0. in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if labels.(i) = labels.(j) then
+          q := !q +. adj.(i).(j) -. (resolution *. k.(i) *. k.(j) /. m2)
+      done
+    done;
+    !q /. m2
+  end
+
+(* One local-moving pass; returns (labels, improved). *)
+let one_level ~resolution adj =
+  let n = Array.length adj in
+  let k = degrees adj in
+  let m2 = Array.fold_left ( +. ) 0. k in
+  let community = Array.init n Fun.id in
+  let sigma_tot = Array.copy k in
+  let improved = ref false in
+  if m2 > 0. then begin
+    let moved = ref true in
+    let rounds = ref 0 in
+    while !moved && !rounds < 100 do
+      moved := false;
+      incr rounds;
+      for i = 0 to n - 1 do
+        let ci = community.(i) in
+        sigma_tot.(ci) <- sigma_tot.(ci) -. k.(i);
+        (* Links from i into each neighbouring community. *)
+        let w = Hashtbl.create 8 in
+        for j = 0 to n - 1 do
+          if j <> i && adj.(i).(j) > 0. then begin
+            let c = community.(j) in
+            Hashtbl.replace w c
+              (adj.(i).(j)
+              +. Option.value ~default:0. (Hashtbl.find_opt w c))
+          end
+        done;
+        let gain c =
+          let wc = Option.value ~default:0. (Hashtbl.find_opt w c) in
+          wc -. (resolution *. sigma_tot.(c) *. k.(i) /. m2)
+        in
+        let best_c, best_gain =
+          Hashtbl.fold
+            (fun c _ (bc, bg) ->
+              let g = gain c in
+              if g > bg +. 1e-12 then (c, g) else (bc, bg))
+            w (ci, gain ci)
+        in
+        ignore best_gain;
+        if best_c <> ci then begin
+          moved := true;
+          improved := true
+        end;
+        community.(i) <- best_c;
+        sigma_tot.(best_c) <- sigma_tot.(best_c) +. k.(i)
+      done
+    done
+  end;
+  (renumber community, !improved)
+
+let aggregate adj labels =
+  let n_comm = 1 + Array.fold_left max 0 labels in
+  let small = Array.make_matrix n_comm n_comm 0. in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j w ->
+          if w > 0. then
+            small.(labels.(i)).(labels.(j)) <-
+              small.(labels.(i)).(labels.(j)) +. w)
+        row)
+    adj;
+  small
+
+let cluster ?(resolution = 1.) adj =
+  let n = Array.length adj in
+  let assignment = Array.init n Fun.id in
+  let rec loop adj =
+    let labels, improved = one_level ~resolution adj in
+    if not improved then ()
+    else begin
+      (* Compose into the node-level assignment. *)
+      for i = 0 to n - 1 do
+        assignment.(i) <- labels.(assignment.(i))
+      done;
+      let n_comm = 1 + Array.fold_left max 0 labels in
+      if n_comm < Array.length adj then loop (aggregate adj labels)
+    end
+  in
+  loop adj;
+  renumber assignment

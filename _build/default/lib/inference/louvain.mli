@@ -1,0 +1,14 @@
+(** Louvain community detection (Blondel et al. 2008, the paper's [35])
+    on dense weighted undirected graphs: greedy local moving that
+    maximizes modularity, followed by graph aggregation, repeated until
+    no pass improves. *)
+
+val modularity : ?resolution:float -> float array array -> int array -> float
+(** Newman modularity of a labelling of the given symmetric adjacency
+    matrix (diagonal entries are self-loop weights).  [resolution]
+    (default 1) is the Reichardt–Bornholdt gamma: larger values favour
+    more, smaller communities. *)
+
+val cluster : ?resolution:float -> float array array -> int array
+(** Community label per node, renumbered to [0..k-1].  Deterministic
+    (nodes are scanned in index order). *)

@@ -1,0 +1,52 @@
+type predictor = Peak | Quantile of float | Headroom of float
+
+let predictor_to_string = function
+  | Peak -> "peak"
+  | Quantile q -> Printf.sprintf "p%.0f" (100. *. q)
+  | Headroom h -> Printf.sprintf "mean+%.0f%%" (100. *. h)
+
+let predict p window =
+  if Array.length window = 0 then invalid_arg "Predict.predict: empty window";
+  match p with
+  | Peak -> Array.fold_left Float.max neg_infinity window
+  | Quantile q ->
+      if q < 0. || q > 1. then invalid_arg "Predict.predict: quantile range";
+      Cm_util.Stats.percentile window (100. *. q)
+  | Headroom h ->
+      if h < 0. then invalid_arg "Predict.predict: negative headroom";
+      Cm_util.Stats.mean window *. (1. +. h)
+
+type evaluation = {
+  mean_overprovision : float;
+  violation_rate : float;
+  n_evaluated : int;
+}
+
+let epoch_total m =
+  Array.fold_left
+    (fun acc row -> acc +. Array.fold_left ( +. ) 0. row)
+    0. m
+
+let evaluate p ~window (tm : Traffic_matrix.t) =
+  if window < 1 then invalid_arg "Predict.evaluate: window < 1";
+  let k = Array.length tm.epochs in
+  if k <= window then invalid_arg "Predict.evaluate: not enough epochs";
+  let totals = Array.map epoch_total tm.epochs in
+  let over = ref 0. and over_n = ref 0 in
+  let violations = ref 0 and n = ref 0 in
+  for e = window to k - 1 do
+    let history = Array.sub totals (e - window) window in
+    let reserved = predict p history in
+    let actual = totals.(e) in
+    incr n;
+    if actual > reserved +. 1e-9 then incr violations;
+    if actual > 0. then begin
+      over := !over +. ((reserved -. actual) /. actual);
+      incr over_n
+    end
+  done;
+  {
+    mean_overprovision = (if !over_n = 0 then 0. else !over /. float_of_int !over_n);
+    violation_rate = float_of_int !violations /. float_of_int (max 1 !n);
+    n_evaluated = !n;
+  }

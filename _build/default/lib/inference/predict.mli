@@ -1,0 +1,42 @@
+(** History-based guarantee prediction (paper §6: "CloudMirror can adopt
+    existing approaches, such as ... history-based prediction [Cicada],
+    to be even more efficient").
+
+    Given an observed window of component-to-component aggregate rates,
+    predict the guarantee to reserve for the next epoch.  Cicada-style
+    predictors trade a small violation risk for much tighter
+    reservations than worst-case peaks; this module provides the
+    standard family (peak / quantile / peak-with-headroom) and an
+    evaluator that replays a traffic matrix and reports both over- and
+    under-provisioning. *)
+
+type predictor =
+  | Peak  (** Reserve the window's maximum — never under-provisions. *)
+  | Quantile of float  (** Reserve the q-th quantile of the window. *)
+  | Headroom of float
+      (** Reserve the window mean times [1 + headroom]. *)
+
+val predictor_to_string : predictor -> string
+
+val predict : predictor -> float array -> float
+(** Prediction from a non-empty observation window.
+    @raise Invalid_argument on an empty window or out-of-range
+    parameters. *)
+
+type evaluation = {
+  mean_overprovision : float;
+      (** Mean of [(reserved - actual) / actual] over evaluated epochs
+          with positive traffic — wasted reservation. *)
+  violation_rate : float;
+      (** Fraction of evaluated epoch-edges where actual > reserved. *)
+  n_evaluated : int;
+}
+
+val evaluate :
+  predictor -> window:int -> Traffic_matrix.t -> evaluation
+(** Walk the epochs of a traffic matrix: for each epoch after the first
+    [window], predict each VM-pair-aggregated component edge... the
+    evaluation is at whole-matrix granularity (total rate per epoch),
+    the quantity a TAG guarantee must cover after aggregation.
+    @raise Invalid_argument if the matrix has fewer than [window + 1]
+    epochs or [window < 1]. *)

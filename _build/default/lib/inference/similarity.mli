@@ -1,0 +1,20 @@
+(** VM similarity from traffic matrices (paper §3, "Producing TAG
+    models"): each VM's feature vector is the concatenation of its row
+    (outgoing) and column (incoming) of the bandwidth-weighted traffic
+    matrix; similarity is derived from the angular distance between
+    vectors; the projection graph carries one weighted edge per similar
+    VM pair. *)
+
+val feature_vectors : float array array -> float array array
+(** [feature_vectors m].(i) is row i of [m] concatenated with column i. *)
+
+val cosine : float array -> float array -> float
+(** Cosine similarity in [0, 1] for non-negative vectors; 0 when either
+    vector is all-zero. *)
+
+val angular_similarity : float array -> float array -> float
+(** [1 - 2*acos(cosine)/pi]: 1 for parallel vectors, 0 for orthogonal. *)
+
+val projection_graph : float array array -> float array array
+(** Symmetric VM-by-VM weight matrix of angular similarities (zero
+    diagonal), from a traffic matrix. *)

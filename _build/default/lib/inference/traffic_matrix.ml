@@ -1,0 +1,166 @@
+module Tag = Cm_tag.Tag
+module Rng = Cm_util.Rng
+
+type t = {
+  n_vms : int;
+  truth : int array;
+  epochs : float array array array;
+}
+
+let generate ?(epochs = 8) ?(imbalance = 0.8) ?(noise_rate = -1.)
+    ?(noise_prob = 0.02) ~rng tag =
+  let n = Tag.total_vms tag in
+  let truth = Array.make n 0 in
+  let first_vm = Array.make (Tag.n_components tag) 0 in
+  let next = ref 0 in
+  for c = 0 to Tag.n_components tag - 1 do
+    first_vm.(c) <- !next;
+    for _ = 1 to Tag.size tag c do
+      truth.(!next) <- c;
+      incr next
+    done
+  done;
+  (* Mean legitimate pair rate, for scaling background noise. *)
+  let mean_pair_rate =
+    let total = ref 0. and pairs = ref 0 in
+    Array.iter
+      (fun (e : Tag.edge) ->
+        let np =
+          if e.src = e.dst then Tag.size tag e.src * (Tag.size tag e.src - 1)
+          else Tag.size tag e.src * Tag.size tag e.dst
+        in
+        if np > 0 then begin
+          total := !total +. Tag.b_total tag e;
+          pairs := !pairs + np
+        end)
+      (Tag.edges tag);
+    if !pairs = 0 then 1. else !total /. float_of_int !pairs
+  in
+  let noise_rate =
+    if noise_rate < 0. then 0.02 *. mean_pair_rate else noise_rate
+  in
+  let sigma = imbalance in
+  (* Log-normal factor with unit mean. *)
+  let wobble () =
+    Rng.log_normal rng ~mu:(-.(sigma *. sigma) /. 2.) ~sigma
+  in
+  let make_epoch () =
+    let m = Array.make_matrix n n 0. in
+    Array.iter
+      (fun (e : Tag.edge) ->
+        if Tag.is_external tag e.src || Tag.is_external tag e.dst then
+          (* External traffic never appears in the VM-to-VM matrix. *)
+          ()
+        else
+        let ns = Tag.size tag e.src and nd = Tag.size tag e.dst in
+        if e.src = e.dst then begin
+          if ns > 1 then begin
+            let pair = Tag.b_total tag e /. float_of_int (ns * (ns - 1)) in
+            for i = 0 to ns - 1 do
+              for j = 0 to ns - 1 do
+                if i <> j then begin
+                  let a = first_vm.(e.src) + i and b = first_vm.(e.src) + j in
+                  m.(a).(b) <- m.(a).(b) +. (pair *. wobble ())
+                end
+              done
+            done
+          end
+        end
+        else begin
+          let pair = Tag.b_total tag e /. float_of_int (ns * nd) in
+          for i = 0 to ns - 1 do
+            for j = 0 to nd - 1 do
+              let a = first_vm.(e.src) + i and b = first_vm.(e.dst) + j in
+              m.(a).(b) <- m.(a).(b) +. (pair *. wobble ())
+            done
+          done
+        end)
+      (Tag.edges tag);
+    (* Background chatter between unrelated VMs. *)
+    if noise_prob > 0. && noise_rate > 0. then
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if i <> j && Rng.uniform rng < noise_prob then
+            m.(i).(j) <- m.(i).(j) +. (noise_rate *. wobble ())
+        done
+      done;
+    m
+  in
+  { n_vms = n; truth; epochs = Array.init epochs (fun _ -> make_epoch ()) }
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "epoch,src,dst,rate\n";
+  Array.iteri
+    (fun e m ->
+      Array.iteri
+        (fun i row ->
+          Array.iteri
+            (fun j rate ->
+              if rate > 0. then
+                Buffer.add_string buf
+                  (Printf.sprintf "%d,%d,%d,%.17g\n" e i j rate))
+            row)
+        m)
+    t.epochs;
+  Buffer.contents buf
+
+let of_csv text =
+  let lines = String.split_on_char '\n' text in
+  let cells = ref [] in
+  let max_epoch = ref (-1) and max_vm = ref (-1) in
+  let err = ref None in
+  List.iteri
+    (fun lineno line ->
+      let line = String.trim line in
+      if !err = None && line <> "" && lineno > 0 then begin
+        match String.split_on_char ',' line with
+        | [ e; i; j; rate ] -> begin
+            match
+              ( int_of_string_opt e,
+                int_of_string_opt i,
+                int_of_string_opt j,
+                float_of_string_opt rate )
+            with
+            | Some e, Some i, Some j, Some rate
+              when e >= 0 && i >= 0 && j >= 0 && rate >= 0. ->
+                max_epoch := max !max_epoch e;
+                max_vm := max !max_vm (max i j);
+                cells := (e, i, j, rate) :: !cells
+            | _ ->
+                err :=
+                  Some (Printf.sprintf "line %d: malformed cell" (lineno + 1))
+          end
+        | _ ->
+            err :=
+              Some
+                (Printf.sprintf "line %d: expected epoch,src,dst,rate"
+                   (lineno + 1))
+      end)
+    lines;
+  match !err with
+  | Some m -> Error m
+  | None ->
+      if !max_vm < 0 then Error "no cells"
+      else begin
+        let n = !max_vm + 1 and k = !max_epoch + 1 in
+        let epochs = Array.init k (fun _ -> Array.make_matrix n n 0.) in
+        List.iter
+          (fun (e, i, j, rate) -> epochs.(e).(i).(j) <- rate)
+          !cells;
+        Ok { n_vms = n; truth = Array.make n 0; epochs }
+      end
+
+let mean_matrix t =
+  let n = t.n_vms in
+  let k = float_of_int (Array.length t.epochs) in
+  let m = Array.make_matrix n n 0. in
+  Array.iter
+    (fun epoch ->
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          m.(i).(j) <- m.(i).(j) +. (epoch.(i).(j) /. k)
+        done
+      done)
+    t.epochs;
+  m

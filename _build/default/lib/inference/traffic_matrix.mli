@@ -1,0 +1,44 @@
+(** Synthetic VM-to-VM traffic matrices with known ground truth.
+
+    The paper evaluates TAG inference on the bing.com VM-level traffic
+    matrices; those are proprietary, so we generate matrices {e from} a
+    ground-truth TAG: every trunk and self-loop guarantee is spread over
+    its VM pairs with log-normal load-balancer imbalance per epoch, plus
+    optional low-rate background chatter between unrelated VMs (the
+    management-service analog).  Inference quality is then measured
+    against the known component labels. *)
+
+type t = {
+  n_vms : int;
+  truth : int array;  (** Ground-truth component of each VM. *)
+  epochs : float array array array;
+      (** [epochs.(e).(i).(j)] = rate from VM i to VM j in epoch e. *)
+}
+
+val generate :
+  ?epochs:int ->
+  ?imbalance:float ->
+  ?noise_rate:float ->
+  ?noise_prob:float ->
+  rng:Cm_util.Rng.t ->
+  Cm_tag.Tag.t ->
+  t
+(** Defaults: 8 epochs; [imbalance] (sigma of the per-pair log-normal
+    factor) 0.8; background noise flows with probability [noise_prob]
+    (default 0.02) per ordered pair and rate [noise_rate] (default 2% of
+    the mean legitimate pair rate). *)
+
+val mean_matrix : t -> float array array
+(** Per-pair rate averaged over epochs. *)
+
+(** {1 Import/export}
+
+    CSV interchange so operators can feed measured matrices: one line
+    per epoch cell, [epoch,src,dst,rate] with a header line.  Ground
+    truth is unknown for imported data; [truth] is all zeros. *)
+
+val to_csv : t -> string
+val of_csv : string -> (t, string) result
+(** Parses the {!to_csv} format.  Dimensions are inferred from the
+    largest indices; missing cells are 0.
+    @return [Error] with a line-numbered message on malformed input. *)

@@ -1,0 +1,1 @@
+lib/placement/alloc_state.ml: Array Cm_tag Cm_topology Hashtbl List Types

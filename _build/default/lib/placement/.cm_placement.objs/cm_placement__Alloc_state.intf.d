@@ -1,0 +1,1 @@
+lib/placement/alloc_state.mli: Cm_tag Cm_topology Types

@@ -1,0 +1,1 @@
+lib/placement/cm.ml: Alloc_state Array Cm_tag Cm_topology Float Fun Hashtbl List Logs Subtree Types

@@ -1,0 +1,1 @@
+lib/placement/cm.mli: Cm_tag Cm_topology Types

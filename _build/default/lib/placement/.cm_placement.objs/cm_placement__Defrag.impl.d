@@ -1,0 +1,1 @@
+lib/placement/defrag.ml: Cm Cm_topology List Types

@@ -1,0 +1,1 @@
+lib/placement/defrag.mli: Cm Cm_topology Types

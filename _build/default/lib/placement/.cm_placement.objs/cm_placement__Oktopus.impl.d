@@ -1,0 +1,1 @@
+lib/placement/oktopus.ml: Alloc_state Cm_tag Cm_topology Fun List Subtree Types

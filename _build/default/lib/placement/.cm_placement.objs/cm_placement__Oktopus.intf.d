@@ -1,0 +1,1 @@
+lib/placement/oktopus.mli: Cm_topology Types

@@ -1,0 +1,1 @@
+lib/placement/optimal.ml: Array Cm_tag Cm_topology

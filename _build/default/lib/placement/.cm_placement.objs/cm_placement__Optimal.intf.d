@@ -1,0 +1,1 @@
+lib/placement/optimal.mli: Cm_tag Cm_topology Types

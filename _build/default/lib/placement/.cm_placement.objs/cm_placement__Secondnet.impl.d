@@ -1,0 +1,1 @@
+lib/placement/secondnet.ml: Array Cm_tag Cm_topology Hashtbl List Option Types

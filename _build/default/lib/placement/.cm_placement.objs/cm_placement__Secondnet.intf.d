@@ -1,0 +1,1 @@
+lib/placement/secondnet.mli: Cm_topology Types

@@ -1,0 +1,1 @@
+lib/placement/subtree.ml: Array Cm_topology List Option

@@ -1,0 +1,1 @@
+lib/placement/subtree.mli: Cm_topology

@@ -1,0 +1,1 @@
+lib/placement/types.ml: Array Cm_tag Cm_topology List

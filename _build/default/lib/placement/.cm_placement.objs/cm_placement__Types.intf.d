@@ -1,0 +1,1 @@
+lib/placement/types.mli: Cm_tag Cm_topology

@@ -1,0 +1,1 @@
+lib/placement/wcs.ml: Array Cm_tag Cm_topology Cm_util Hashtbl List Option Types

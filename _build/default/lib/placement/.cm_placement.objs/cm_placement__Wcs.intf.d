@@ -1,0 +1,1 @@
+lib/placement/wcs.mli: Cm_tag Cm_topology Types

@@ -1,0 +1,239 @@
+module Tree = Cm_topology.Tree
+module Reservation = Cm_topology.Reservation
+module Tag = Cm_tag.Tag
+module Bandwidth = Cm_tag.Bandwidth
+
+type t = {
+  the_tree : Tree.t;
+  the_tag : Tag.t;
+  the_model : Bandwidth.model;
+  ha : Types.ha_spec option;
+  ha_bounds : int array; (* per component; max_int rows when no HA *)
+  txn : Reservation.t;
+  counts : (int, int array) Hashtbl.t;
+  bw : (int, float * float) Hashtbl.t;
+  mutable journal : (unit -> unit) list;
+  mutable jlen : int;
+}
+
+type checkpoint = { jcp : int; rcp : Reservation.checkpoint }
+
+let create ?(model = Bandwidth.Tag_model) ?ha the_tree the_tag =
+  let n = Tag.n_components the_tag in
+  let ha_bounds =
+    match ha with
+    | None -> Array.make n max_int
+    | Some { Types.rwcs; _ } ->
+        Array.init n (fun c ->
+            Types.eq7_bound ~n_total:(Tag.size the_tag c) ~rwcs)
+  in
+  {
+    the_tree;
+    the_tag;
+    the_model = model;
+    ha;
+    ha_bounds;
+    txn = Reservation.start the_tree;
+    counts = Hashtbl.create 64;
+    bw = Hashtbl.create 64;
+    journal = [];
+    jlen = 0;
+  }
+
+let tree t = t.the_tree
+let tag t = t.the_tag
+let model t = t.the_model
+
+let journal_push t undo =
+  t.journal <- undo :: t.journal;
+  t.jlen <- t.jlen + 1
+
+let node_counts t node =
+  match Hashtbl.find_opt t.counts node with
+  | Some arr -> arr
+  | None ->
+      let arr = Array.make (Tag.n_components t.the_tag) 0 in
+      Hashtbl.add t.counts node arr;
+      arr
+
+let count t ~node ~comp =
+  match Hashtbl.find_opt t.counts node with
+  | None -> 0
+  | Some arr -> arr.(comp)
+
+let counts_at t ~node =
+  match Hashtbl.find_opt t.counts node with
+  | None -> Array.make (Tag.n_components t.the_tag) 0
+  | Some arr -> Array.copy arr
+
+let placed_on_server t ~server = counts_at t ~node:server
+
+let ha_cap t ~node ~comp =
+  match t.ha with
+  | None -> max_int
+  | Some { Types.laa_level; _ } ->
+      if Tree.level t.the_tree node > laa_level then max_int
+      else
+        (* The binding Eq. 7 constraint sits at the LAA-level ancestor:
+           lower subtrees can only hold fewer VMs than it. *)
+        let rec up id =
+          if Tree.level t.the_tree id >= laa_level then id
+          else
+            match Tree.parent t.the_tree id with
+            | Some p -> up p
+            | None -> id
+        in
+        t.ha_bounds.(comp) - count t ~node:(up node) ~comp
+
+let seed t ~old_tag ~locations =
+  if t.jlen > 0 || not (Reservation.is_empty t.txn) then
+    invalid_arg "Alloc_state.seed: state is not fresh";
+  Array.iteri
+    (fun c placed ->
+      List.iter
+        (fun (server, n) ->
+          List.iter
+            (fun node ->
+              let arr = node_counts t node in
+              arr.(c) <- arr.(c) + n)
+            (Tree.path_to_root t.the_tree server))
+        placed)
+    locations;
+  Hashtbl.iter
+    (fun node inside ->
+      if node <> Tree.root t.the_tree then
+        Hashtbl.replace t.bw node
+          (Bandwidth.required t.the_model old_tag ~inside))
+    t.counts
+
+let remove t ~server ~comp ~n =
+  if n < 0 then invalid_arg "Alloc_state.remove: negative count";
+  if n = 0 then true
+  else if count t ~node:server ~comp < n then false
+  else if
+    not
+      (Reservation.return_slots t.txn ~server
+         (n * Tag.vm_slots t.the_tag comp))
+  then false
+  else begin
+    List.iter
+      (fun node ->
+        let arr = node_counts t node in
+        arr.(comp) <- arr.(comp) - n;
+        journal_push t (fun () -> arr.(comp) <- arr.(comp) + n))
+      (Tree.path_to_root t.the_tree server);
+    true
+  end
+
+let place t ~server ~comp ~n =
+  if n < 0 then invalid_arg "Alloc_state.place: negative count";
+  if n = 0 then true
+  else if not (Tree.is_server t.the_tree server) then
+    invalid_arg "Alloc_state.place: not a server"
+  else if ha_cap t ~node:server ~comp < n then false
+  else if
+    not
+      (Reservation.take_slots t.txn ~server (n * Tag.vm_slots t.the_tag comp))
+  then false
+  else begin
+    List.iter
+      (fun node ->
+        let arr = node_counts t node in
+        arr.(comp) <- arr.(comp) + n;
+        journal_push t (fun () -> arr.(comp) <- arr.(comp) - n))
+      (Tree.path_to_root t.the_tree server);
+    true
+  end
+
+let sync_bw t ~node =
+  if node = Tree.root t.the_tree then true
+  else
+    let inside = counts_at t ~node in
+    let required_up, required_down =
+      Bandwidth.required t.the_model t.the_tag ~inside
+    in
+    let cur_up, cur_down =
+      match Hashtbl.find_opt t.bw node with Some p -> p | None -> (0., 0.)
+    in
+    let d_up = required_up -. cur_up and d_down = required_down -. cur_down in
+    if d_up = 0. && d_down = 0. then true
+    else if Reservation.reserve_bw t.txn ~node ~up:d_up ~down:d_down then begin
+      Hashtbl.replace t.bw node (required_up, required_down);
+      journal_push t (fun () -> Hashtbl.replace t.bw node (cur_up, cur_down));
+      true
+    end
+    else false
+
+let checkpoint t = { jcp = t.jlen; rcp = Reservation.checkpoint t.txn }
+
+let rollback_to t { jcp; rcp } =
+  if jcp < 0 || jcp > t.jlen then invalid_arg "Alloc_state.rollback_to";
+  while t.jlen > jcp do
+    match t.journal with
+    | [] -> assert false
+    | undo :: rest ->
+        undo ();
+        t.journal <- rest;
+        t.jlen <- t.jlen - 1
+  done;
+  Reservation.rollback_to t.txn rcp
+
+let rollback t =
+  while t.jlen > 0 do
+    match t.journal with
+    | [] -> assert false
+    | undo :: rest ->
+        undo ();
+        t.journal <- rest;
+        t.jlen <- t.jlen - 1
+  done;
+  Reservation.rollback t.txn
+
+let sync_path_above t ~node =
+  let cp = checkpoint t in
+  let rec go id =
+    match Tree.parent t.the_tree id with
+    | None -> true
+    | Some p -> if sync_bw t ~node:p then go p else false
+  in
+  if go node then true
+  else begin
+    rollback_to t cp;
+    false
+  end
+
+let commit t =
+  t.journal <- [];
+  t.jlen <- 0;
+  Reservation.commit t.txn
+
+let by_level t nodes =
+  List.sort
+    (fun a b ->
+      compare (Tree.level t.the_tree a, a) (Tree.level t.the_tree b, b))
+    nodes
+
+let touched_nodes t =
+  Hashtbl.fold
+    (fun node arr acc ->
+      if Array.exists (fun n -> n > 0) arr then node :: acc else acc)
+    t.counts []
+  |> by_level t
+
+let tracked_nodes t =
+  Hashtbl.fold (fun node _ acc -> node :: acc) t.counts [] |> by_level t
+
+let server_locations t =
+  let locations = Array.make (Tag.n_components t.the_tag) [] in
+  Hashtbl.iter
+    (fun node arr ->
+      if Tree.is_server t.the_tree node then
+        Array.iteri
+          (fun c n -> if n > 0 then locations.(c) <- (node, n) :: locations.(c))
+          arr)
+    t.counts;
+  Array.map (List.sort compare) locations
+
+let external_demand t =
+  let inside = Array.init (Tag.n_components t.the_tag) (Tag.size t.the_tag) in
+  Bandwidth.required t.the_model t.the_tag ~inside

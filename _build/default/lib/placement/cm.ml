@@ -1,0 +1,590 @@
+module Tree = Cm_topology.Tree
+module Tag = Cm_tag.Tag
+module Bandwidth = Cm_tag.Bandwidth
+module State = Alloc_state
+
+let log_src = Logs.Src.create "cloudmirror.cm" ~doc:"CloudMirror placement"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type policy = {
+  colocate : bool;
+  balance : bool;
+  verify_trunk_savings : bool;
+  opportunistic_ha : bool;
+  model : Bandwidth.model;
+}
+
+let default_policy =
+  {
+    colocate = true;
+    balance = true;
+    verify_trunk_savings = true;
+    opportunistic_ha = false;
+    model = Bandwidth.Tag_model;
+  }
+
+type t = {
+  the_tree : Tree.t;
+  the_policy : policy;
+  (* Moving average of arriving tenants' mean per-VM demand (Mbps); the
+     "expected contribution of future tenant VMs" of §4.5. *)
+  mutable demand_ewma : float;
+  mutable n_seen : int;
+}
+
+let create ?(policy = default_policy) the_tree =
+  { the_tree; the_policy = policy; demand_ewma = 0.; n_seen = 0 }
+
+let tree t = t.the_tree
+let policy t = t.the_policy
+
+let total = Array.fold_left ( + ) 0
+
+let vm_demand tag c =
+  Float.max (Tag.per_vm_send tag c) (Tag.per_vm_recv tag c)
+
+(* Available bandwidth per free slot across a node's children — the
+   yardstick for both "low-bandwidth tier" exclusion and §4.5 saving
+   desirability. *)
+let child_bw_per_slot tree st =
+  let bw = ref 0. and free = ref 0 in
+  Array.iter
+    (fun child ->
+      let f = Tree.free_slots_subtree tree child in
+      if f > 0 then begin
+        free := !free + f;
+        bw :=
+          !bw
+          +. Float.min (Tree.available_up tree child)
+               (Tree.available_down tree child)
+      end)
+    (Tree.children tree st);
+  if !free = 0 then None else Some (!bw /. float_of_int !free)
+
+let demand_estimate sched tag =
+  let current = Tag.mean_vm_demand tag in
+  if sched.n_seen = 0 then current else Float.max current sched.demand_ewma
+
+(* Bandwidth saving below [st] is desirable when the bandwidth available
+   per free slot is scarcer than the expected per-VM demand (§4.5). *)
+let saving_desirable sched tag st =
+  match child_bw_per_slot sched.the_tree st with
+  | None -> false
+  | Some per_slot -> per_slot < demand_estimate sched tag
+
+(* Lowest tree level at which containing a tenant saves scarce bandwidth;
+   opportunistic HA starts FindLowestSubtree there. *)
+let opp_start_level sched tag =
+  let tree = sched.the_tree in
+  let estimate = demand_estimate sched tag in
+  let top = Tree.n_levels tree - 1 in
+  let level_scarce l =
+    let bw = ref 0. and free = ref 0 in
+    List.iter
+      (fun id ->
+        let f = Tree.free_slots_subtree tree id in
+        if f > 0 then begin
+          free := !free + f;
+          bw :=
+            !bw
+            +. Float.min (Tree.available_up tree id)
+                 (Tree.available_down tree id)
+        end)
+      (Tree.nodes_at_level tree l);
+    !free > 0 && !bw /. float_of_int !free < estimate
+  in
+  let rec search l = if l >= top then top else if level_scarce l then l else search (l + 1) in
+  search 0
+
+let alive_children state st dead =
+  let tree = State.tree state in
+  Tree.children tree st |> Array.to_list
+  |> List.filter (fun c ->
+         (not (Hashtbl.mem dead c)) && Tree.free_slots_subtree tree c > 0)
+  |> List.sort (fun a b ->
+         compare
+           (Tree.free_slots_subtree tree b, a)
+           (Tree.free_slots_subtree tree a, b))
+
+(* Saving of Eq. 4 applied to the reverse (incoming) direction of a trunk
+   edge: worst case is all of [src] outside the subtree. *)
+let trunk_saving_in tag (e : Tag.edge) ~src_inside ~dst_inside =
+  let n_src = Tag.size tag e.src in
+  Float.max
+    ((float_of_int dst_inside *. e.rcv_bw)
+    -. (float_of_int (n_src - src_inside) *. e.snd_bw))
+    0.
+
+(* FindTiersToColoc (§4.4): pick the child with the most room and the
+   tier group whose colocation into it saves the most uplink bandwidth,
+   filtering with the size conditions (Eqs. 2/6) and verifying actual
+   savings (Eq. 4).  Low-bandwidth tiers are left for Balance. *)
+let find_tiers_to_coloc ~verify state remaining st dead =
+  let tree = State.tree state and tag = State.tag state in
+  match alive_children state st dead with
+  | [] -> None
+  | child :: _ ->
+      let free = Tree.free_slots_subtree tree child in
+      let threshold =
+        match child_bw_per_slot tree st with Some r -> r | None -> 0.
+      in
+      let low_bw c = vm_demand tag c <= threshold in
+      let cap c =
+        min
+          (min remaining.(c) (free / Tag.vm_slots tag c))
+          (State.ha_cap state ~node:child ~comp:c)
+      in
+      let inside c = State.count state ~node:child ~comp:c in
+      let n_comp = Tag.n_components tag in
+      let best = ref None in
+      let consider score gsub =
+        if score > 0. && total gsub > 0 then
+          match !best with
+          | Some (s, _) when s >= score -> ()
+          | _ -> best := Some (score, gsub)
+      in
+      (* Hose (self-loop) tiers: Eq. 2. *)
+      for c = 0 to n_comp - 1 do
+        match Tag.self_loop tag c with
+        | Some e when e.snd_bw > 0. && not (low_bw c) ->
+            let k = cap c in
+            if k > 0 then begin
+              let after = inside c + k in
+              let n_total = Tag.size tag c in
+              if Bandwidth.hose_saving_possible ~n_total ~n_inside:after
+              then begin
+                let score =
+                  float_of_int ((2 * after) - n_total) *. e.snd_bw
+                in
+                let gsub = Array.make n_comp 0 in
+                gsub.(c) <- k;
+                consider score gsub
+              end
+            end
+        | Some _ | None -> ()
+      done;
+      (* Trunk pairs: Eq. 6 filter, Eq. 4 verification, both directions.
+         Edges to external components never benefit from colocation. *)
+      Array.iter
+        (fun (e : Tag.edge) ->
+          if
+            (not (Tag.is_external tag e.src))
+            && (not (Tag.is_external tag e.dst))
+            && e.src <> e.dst
+            && (e.snd_bw > 0. || e.rcv_bw > 0.)
+          then
+            if not (low_bw e.src && low_bw e.dst) then begin
+              let cap_src = cap e.src and cap_dst = cap e.dst in
+              let cost_src = Tag.vm_slots tag e.src
+              and cost_dst = Tag.vm_slots tag e.dst in
+              let k_src, k_dst =
+                if (cap_src * cost_src) + (cap_dst * cost_dst) <= free then
+                  (cap_src, cap_dst)
+                else
+                  let slots_src =
+                    if cap_src + cap_dst = 0 then 0
+                    else
+                      free * (cap_src * cost_src)
+                      / ((cap_src * cost_src) + (cap_dst * cost_dst))
+                  in
+                  let k_src = min (slots_src / cost_src) cap_src in
+                  (k_src, min ((free - (k_src * cost_src)) / cost_dst) cap_dst)
+              in
+              let in_src = inside e.src + k_src
+              and in_dst = inside e.dst + k_dst in
+              if
+                Bandwidth.trunk_size_condition tag e ~src_inside:in_src
+                  ~dst_inside:in_dst
+              then begin
+                (* Eq. 6 is only necessary; verify real savings (Eq. 4)
+                   unless the ablation disables it. *)
+                let score =
+                  if verify then
+                    Bandwidth.trunk_saving_amount tag e ~src_inside:in_src
+                      ~dst_inside:in_dst
+                    +. trunk_saving_in tag e ~src_inside:in_src
+                         ~dst_inside:in_dst
+                  else Tag.b_total tag e
+                in
+                let gsub = Array.make n_comp 0 in
+                gsub.(e.src) <- k_src;
+                gsub.(e.dst) <- gsub.(e.dst) + k_dst;
+                consider score gsub
+              end
+            end)
+        (Tag.edges tag);
+      (match !best with
+      | None -> None
+      | Some (_, gsub) -> Some (child, gsub))
+
+(* MdSubsetSum (§4.4): fill the roomiest child so that slots and both
+   bandwidth directions approach full utilization together.  The greedy
+   repeatedly adds the VM whose tier keeps the running mean per-VM demand
+   closest to the child's available bandwidth-per-slot target.  In
+   [single] mode (§4.5 opportunistic HA) only one VM is returned. *)
+let md_subset_sum state remaining st dead ~single =
+  let tree = State.tree state and tag = State.tag state in
+  let n_comp = Tag.n_components tag in
+  let demand = Array.init n_comp (vm_demand tag) in
+  let rec try_children = function
+    | [] -> None
+    | child :: rest ->
+        let free = Tree.free_slots_subtree tree child in
+        let avail =
+          Float.min (Tree.available_up tree child)
+            (Tree.available_down tree child)
+        in
+        let target = avail /. float_of_int free in
+        let caps =
+          Array.init n_comp (fun c ->
+              min remaining.(c) (State.ha_cap state ~node:child ~comp:c))
+        in
+        let gsub = Array.make n_comp 0 in
+        let placed_n = ref 0 and placed_demand = ref 0. in
+        let slots = ref free in
+        let pick_one () =
+          let best = ref None in
+          for c = 0 to n_comp - 1 do
+            if gsub.(c) < caps.(c) && Tag.vm_slots tag c <= !slots then begin
+              let mean_after =
+                (!placed_demand +. demand.(c)) /. float_of_int (!placed_n + 1)
+              in
+              let fits =
+                !placed_demand +. demand.(c)
+                <= avail +. Tree.bw_epsilon
+              in
+              if fits then
+                let gap = Float.abs (mean_after -. target) in
+                match !best with
+                | Some (g, _) when g <= gap -> ()
+                | _ -> best := Some (gap, c)
+            end
+          done;
+          !best
+        in
+        let continue = ref true in
+        while !continue && !slots > 0 do
+          match pick_one () with
+          | None -> continue := false
+          | Some (_, c) ->
+              gsub.(c) <- gsub.(c) + 1;
+              placed_n := !placed_n + 1;
+              placed_demand := !placed_demand +. demand.(c);
+              slots := !slots - Tag.vm_slots tag c;
+              if single then continue := false
+        done;
+        if !placed_n > 0 then Some (child, gsub)
+        else begin
+          Hashtbl.replace dead child ();
+          try_children rest
+        end
+  in
+  try_children (alive_children state st dead)
+
+(* Fallback when Balance is disabled (Fig. 10 "Coloc"-only ablation):
+   first-fit packing into the roomiest child, no resource balancing. *)
+let rec naive_fill state remaining st dead =
+  let tree = State.tree state and tag = State.tag state in
+  let n_comp = Tag.n_components tag in
+  match alive_children state st dead with
+  | [] -> None
+  | child :: _ ->
+      let free = ref (Tree.free_slots_subtree tree child) in
+      let gsub = Array.make n_comp 0 in
+      for c = 0 to n_comp - 1 do
+        let cost = Tag.vm_slots tag c in
+        let n =
+          min
+            (min remaining.(c) (!free / cost))
+            (State.ha_cap state ~node:child ~comp:c)
+        in
+        if n > 0 then begin
+          gsub.(c) <- n;
+          free := !free - (n * cost)
+        end
+      done;
+      if total gsub > 0 then Some (child, gsub)
+      else begin
+        Hashtbl.replace dead child ();
+        naive_fill state remaining st dead
+      end
+
+let rec alloc sched state g st =
+  if Tree.is_server (State.tree state) st then alloc_server state g st
+  else alloc_switch sched state g st
+
+(* Alloc, server case: take slots (respecting Eq. 7 caps) and reserve the
+   server's uplink per the accounting model. *)
+and alloc_server state g st =
+  let tree = State.tree state and tag = State.tag state in
+  let n_comp = Array.length g in
+  let cp = State.checkpoint state in
+  let placed = Array.make n_comp 0 in
+  let free = ref (Tree.free_slots tree st) in
+  let order =
+    List.init n_comp Fun.id
+    |> List.sort (fun a b -> compare (vm_demand tag b) (vm_demand tag a))
+  in
+  List.iter
+    (fun c ->
+      let cost = Tag.vm_slots tag c in
+      if g.(c) > 0 && !free >= cost then begin
+        let n =
+          min
+            (min g.(c) (!free / cost))
+            (State.ha_cap state ~node:st ~comp:c)
+        in
+        if n > 0 && State.place state ~server:st ~comp:c ~n then begin
+          placed.(c) <- n;
+          free := !free - (n * cost)
+        end
+      end)
+    order;
+  if total placed = 0 then begin
+    State.rollback_to state cp;
+    placed
+  end
+  else if State.sync_bw state ~node:st then placed
+  else begin
+    State.rollback_to state cp;
+    Array.make n_comp 0
+  end
+
+(* Alloc, switch case: Colocate then Balance over the children, then
+   reserve st's own uplink; roll everything back if it does not fit. *)
+and alloc_switch sched state g st =
+  let tag = State.tag state in
+  let n_comp = Array.length g in
+  let cp = State.checkpoint state in
+  let remaining = Array.copy g in
+  let placed = Array.make n_comp 0 in
+  let try_child dead child gsub =
+    let sub = alloc sched state gsub child in
+    if total sub = 0 then Hashtbl.replace dead child ()
+    else
+      Array.iteri
+        (fun c n ->
+          placed.(c) <- placed.(c) + n;
+          remaining.(c) <- remaining.(c) - n)
+        sub
+  in
+  let coloc_allowed =
+    sched.the_policy.colocate
+    && ((not sched.the_policy.opportunistic_ha)
+       || saving_desirable sched tag st)
+  in
+  if coloc_allowed then begin
+    let dead = Hashtbl.create 8 in
+    let continue = ref true in
+    while !continue && total remaining > 0 do
+      match
+        find_tiers_to_coloc
+          ~verify:sched.the_policy.verify_trunk_savings state remaining st
+          dead
+      with
+      | None -> continue := false
+      | Some (child, gsub) -> try_child dead child gsub
+    done
+  end;
+  if total remaining > 0 then begin
+    let dead = Hashtbl.create 8 in
+    let single =
+      sched.the_policy.opportunistic_ha
+      && not (saving_desirable sched tag st)
+    in
+    let continue = ref true in
+    while !continue && total remaining > 0 do
+      let choice =
+        if sched.the_policy.balance then
+          md_subset_sum state remaining st dead ~single
+        else naive_fill state remaining st dead
+      in
+      match choice with
+      | None -> continue := false
+      | Some (child, gsub) -> try_child dead child gsub
+    done
+  end;
+  if total placed = 0 then begin
+    State.rollback_to state cp;
+    placed
+  end
+  else if State.sync_bw state ~node:st then placed
+  else begin
+    State.rollback_to state cp;
+    Array.make n_comp 0
+  end
+
+let find_lowest_subtree sched total_vms ext level =
+  Subtree.find_lowest sched.the_tree ~total_vms ~ext ~level
+
+let update_ewma sched tag =
+  let d = Tag.mean_vm_demand tag in
+  if sched.n_seen = 0 then sched.demand_ewma <- d
+  else sched.demand_ewma <- (0.9 *. sched.demand_ewma) +. (0.1 *. d);
+  sched.n_seen <- sched.n_seen + 1
+
+let place sched (req : Types.request) =
+  let tag = req.tag in
+  let tree = sched.the_tree in
+  let total_vms = Tag.total_vms tag in
+  let slot_demand = Tag.total_slot_demand tag in
+  let state =
+    State.create ~model:sched.the_policy.model ?ha:req.ha tree tag
+  in
+  let ext = State.external_demand state in
+  let g0 = Array.init (Tag.n_components tag) (Tag.size tag) in
+  let start_level =
+    if sched.the_policy.opportunistic_ha then opp_start_level sched tag else 0
+  in
+  let top = Tree.n_levels tree - 1 in
+  let reject () =
+    if Tree.free_slots_subtree tree (Tree.root tree) < slot_demand then
+      Types.No_slots
+    else Types.No_bandwidth
+  in
+  let rec attempt level =
+    if level > top then begin
+      let reason = reject () in
+      Log.info (fun m ->
+          m "reject tenant %s (%d VMs): %s" (Tag.name tag) total_vms
+            (Types.reject_to_string reason));
+      Error reason
+    end
+    else
+      match find_lowest_subtree sched slot_demand ext level with
+      | None -> attempt (level + 1)
+      | Some st ->
+          let cp = State.checkpoint state in
+          let placed = alloc sched state (Array.copy g0) st in
+          if total placed = total_vms && State.sync_path_above state ~node:st
+          then begin
+            let locations = State.server_locations state in
+            let committed = State.commit state in
+            Log.debug (fun m ->
+                m "placed tenant %s (%d VMs) under node %d (level %d)"
+                  (Tag.name tag) total_vms st (Tree.level tree st));
+            Ok { Types.req; locations; committed }
+          end
+          else begin
+            Log.debug (fun m ->
+                m "tenant %s: subtree %d (level %d) failed with %d/%d VMs \
+                   placed; retrying higher"
+                  (Tag.name tag) st (Tree.level tree st) (total placed)
+                  total_vms);
+            State.rollback_to state cp;
+            attempt (Tree.level tree st + 1)
+          end
+  in
+  let result = attempt start_level in
+  update_ewma sched tag;
+  result
+
+let release sched (placement : Types.placement) =
+  Cm_topology.Reservation.release sched.the_tree placement.committed
+
+(* {1 Auto-scaling} *)
+
+let resync_everything state =
+  List.for_all
+    (fun node -> State.sync_bw state ~node)
+    (State.tracked_nodes state)
+
+let finish_resize (placement : Types.placement) new_tag state =
+  let locations = State.server_locations state in
+  let committed =
+    Cm_topology.Reservation.merge placement.committed (State.commit state)
+  in
+  Ok { Types.req = { placement.req with tag = new_tag }; locations; committed }
+
+let grow sched (placement : Types.placement) ~comp ~delta =
+  let tree = sched.the_tree in
+  let old_tag = placement.req.tag in
+  let new_tag =
+    Tag.with_size old_tag ~comp ~size:(Tag.size old_tag comp + delta)
+  in
+  let state =
+    State.create ~model:sched.the_policy.model ?ha:placement.req.ha tree
+      new_tag
+  in
+  State.seed state ~old_tag ~locations:placement.locations;
+  let g0 = Array.make (Tag.n_components new_tag) 0 in
+  g0.(comp) <- delta;
+  let delta_slots = delta * Tag.vm_slots new_tag comp in
+  let top = Tree.n_levels tree - 1 in
+  let reject () =
+    if Tree.free_slots_subtree tree (Tree.root tree) < delta_slots then
+      Types.No_slots
+    else Types.No_bandwidth
+  in
+  (* External demand is already reserved for the existing VMs; the new
+     VMs' share is verified by the resync, so the subtree search only
+     needs free slots. *)
+  let rec attempt level =
+    if level > top then Error (reject ())
+    else
+      match
+        Subtree.find_lowest tree ~total_vms:delta_slots ~ext:(0., 0.) ~level
+      with
+      | None -> attempt (level + 1)
+      | Some st ->
+          let cp = State.checkpoint state in
+          let placed = alloc sched state (Array.copy g0) st in
+          if
+            total placed = delta
+            (* Growing a tier raises the Eq. 1 requirement even on nodes
+               that only hold pre-existing VMs (their outside counts
+               changed): re-price every touched uplink. *)
+            && resync_everything state
+          then finish_resize placement new_tag state
+          else begin
+            State.rollback_to state cp;
+            attempt (Tree.level tree st + 1)
+          end
+  in
+  attempt 0
+
+let shrink sched (placement : Types.placement) ~comp ~delta =
+  let tree = sched.the_tree in
+  let old_tag = placement.req.tag in
+  let new_tag =
+    Tag.with_size old_tag ~comp ~size:(Tag.size old_tag comp - delta)
+  in
+  let state =
+    State.create ~model:sched.the_policy.model ?ha:placement.req.ha tree
+      new_tag
+  in
+  State.seed state ~old_tag ~locations:placement.locations;
+  (* Remove from the most-loaded servers first: frees contiguous room,
+     improves survivability, and keeps Eq. 7 caps satisfied under the
+     shrunken bound. *)
+  let by_load =
+    List.sort (fun (_, a) (_, b) -> compare b a) placement.locations.(comp)
+  in
+  let rec drop remaining = function
+    | [] -> remaining = 0
+    | (server, have) :: rest ->
+        if remaining = 0 then true
+        else
+          let n = min remaining have in
+          State.remove state ~server ~comp ~n && drop (remaining - n) rest
+  in
+  if drop delta by_load && resync_everything state then
+    finish_resize placement new_tag state
+  else begin
+    (* Shrinking cannot raise any requirement, so this is unreachable in
+       practice; fail closed regardless. *)
+    State.rollback state;
+    Error Types.No_bandwidth
+  end
+
+let resize sched (placement : Types.placement) ~comp ~new_size =
+  let tag = placement.req.tag in
+  if Tag.is_external tag comp then
+    invalid_arg "Cm.resize: external component";
+  if new_size <= 0 then invalid_arg "Cm.resize: non-positive size";
+  let old_size = Tag.size tag comp in
+  if new_size = old_size then Ok placement
+  else if new_size > old_size then
+    grow sched placement ~comp ~delta:(new_size - old_size)
+  else shrink sched placement ~comp ~delta:(old_size - new_size)

@@ -1,0 +1,40 @@
+module Tree = Cm_topology.Tree
+module Reservation = Cm_topology.Reservation
+
+let switch_level_cost tree =
+  let acc = ref 0. in
+  for level = 1 to Tree.n_levels tree - 1 do
+    let up, down = Tree.reserved_at_level tree ~level in
+    acc := !acc +. up +. down
+  done;
+  !acc
+
+let migrate_once sched (placement : Types.placement) =
+  let tree = Cm.tree sched in
+  let before = switch_level_cost tree in
+  Reservation.release tree placement.committed;
+  match Cm.place sched placement.req with
+  | Error _ ->
+      (* Should not happen (the tenant fit before), but never lose it. *)
+      Reservation.reapply tree placement.committed;
+      (placement, false)
+  | Ok candidate ->
+      let after = switch_level_cost tree in
+      if after < before -. Tree.bw_epsilon then (candidate, true)
+      else begin
+        Cm.release sched candidate;
+        Reservation.reapply tree placement.committed;
+        (placement, false)
+      end
+
+let run sched placements =
+  let kept = ref 0 in
+  let updated =
+    List.map
+      (fun p ->
+        let p', migrated = migrate_once sched p in
+        if migrated then incr kept;
+        p')
+      placements
+  in
+  (updated, !kept)

@@ -1,0 +1,27 @@
+(** Tenant migration / defragmentation — the capability the paper's
+    footnote 8 defers ("the algorithm would have to reverse its earlier
+    decisions ... a capability we currently do not consider").
+
+    Long-running datacenters fragment: tenants admitted under old
+    conditions sit where later arrivals forced them, consuming ToR and
+    aggregation bandwidth a fresh placement would avoid.  A
+    defragmentation sweep re-places tenants one at a time, atomically:
+    each migration is kept only if it strictly reduces the switch-level
+    (non-server) bandwidth reservation, otherwise the original placement
+    is restored bit-for-bit via the reservation ledger. *)
+
+val switch_level_cost : Cm_topology.Tree.t -> float
+(** Total up+down Mbps reserved on uplinks above the server level —
+    the scarce resource migrations try to reclaim. *)
+
+val migrate_once :
+  Cm.t -> Types.placement -> Types.placement * bool
+(** Try to improve one tenant: returns the (possibly new) placement and
+    whether a migration was kept.  The tenant is never lost — on any
+    failure or non-improvement the original reservations are
+    reinstalled exactly. *)
+
+val run : Cm.t -> Types.placement list -> Types.placement list * int
+(** One sweep over all tenants (largest switch-level consumers likely
+    benefit most, but order is preserved for determinism); returns
+    updated placements and the number of migrations kept. *)

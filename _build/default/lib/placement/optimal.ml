@@ -1,0 +1,89 @@
+module Tree = Cm_topology.Tree
+module Tag = Cm_tag.Tag
+module Bandwidth = Cm_tag.Bandwidth
+
+let compositions ~n ~k =
+  (* C(n + k - 1, k - 1) as a float to avoid overflow on silly inputs. *)
+  let rec choose n r acc i =
+    if i > r then acc else choose n r (acc *. float_of_int (n - r + i) /. float_of_int i) (i + 1)
+  in
+  choose (n + k - 1) (k - 1) 1. 1
+
+let search_space tree tag =
+  let s = Tree.n_servers tree in
+  let acc = ref 1. in
+  for c = 0 to Tag.n_components tag - 1 do
+    acc := !acc *. compositions ~n:(Tag.size tag c) ~k:s
+  done;
+  !acc
+
+let feasible ?(model = Bandwidth.Tag_model) tree tag =
+  if search_space tree tag > 2e6 then
+    invalid_arg "Optimal.feasible: search space too large";
+  let servers = Tree.servers tree in
+  let s = Array.length servers in
+  let n_comp = Tag.n_components tag in
+  let free = Array.map (fun srv -> Tree.free_slots tree srv) servers in
+  let counts = Array.make_matrix n_comp s 0 in
+  let used = Array.make s 0 in
+  let node_ok node =
+    let lo, hi = Tree.server_range tree node in
+    let inside = Array.make n_comp 0 in
+    for c = 0 to n_comp - 1 do
+      for i = 0 to s - 1 do
+        if servers.(i) >= lo && servers.(i) <= hi then
+          inside.(c) <- inside.(c) + counts.(c).(i)
+      done
+    done;
+    let out, into = Bandwidth.required model tag ~inside in
+    out <= Tree.available_up tree node +. Tree.bw_epsilon
+    && into <= Tree.available_down tree node +. Tree.bw_epsilon
+  in
+  let all_nodes_ok () =
+    let ok = ref true in
+    for node = 0 to Tree.n_nodes tree - 1 do
+      if node <> Tree.root tree && not (node_ok node) then ok := false
+    done;
+    !ok
+  in
+  let result = ref None in
+  let capture () =
+    let locations = Array.make n_comp [] in
+    for c = 0 to n_comp - 1 do
+      for i = s - 1 downto 0 do
+        if counts.(c).(i) > 0 then
+          locations.(c) <- (servers.(i), counts.(c).(i)) :: locations.(c)
+      done
+    done;
+    result := Some locations
+  in
+  (* Distribute component [c]'s remaining VMs over servers [i..]. *)
+  let rec assign c =
+    if !result <> None then ()
+    else if c = n_comp then begin
+      if all_nodes_ok () then capture ()
+    end
+    else distribute c 0 (Tag.size tag c)
+  and distribute c i remaining =
+    let cost = Tag.vm_slots tag c in
+    if !result <> None then ()
+    else if i = s - 1 then begin
+      if remaining * cost <= free.(i) - used.(i) then begin
+        counts.(c).(i) <- remaining;
+        used.(i) <- used.(i) + (remaining * cost);
+        assign (c + 1);
+        used.(i) <- used.(i) - (remaining * cost);
+        counts.(c).(i) <- 0
+      end
+    end
+    else
+      for k = 0 to min remaining ((free.(i) - used.(i)) / cost) do
+        counts.(c).(i) <- k;
+        used.(i) <- used.(i) + (k * cost);
+        distribute c (i + 1) (remaining - k);
+        used.(i) <- used.(i) - (k * cost);
+        counts.(c).(i) <- 0
+      done
+  in
+  assign 0;
+  !result

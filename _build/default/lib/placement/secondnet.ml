@@ -1,0 +1,180 @@
+module Tree = Cm_topology.Tree
+module Reservation = Cm_topology.Reservation
+module Tag = Cm_tag.Tag
+module Pipe = Cm_tag.Pipe
+
+type t = { the_tree : Tree.t }
+
+let create the_tree = { the_tree }
+let tree t = t.the_tree
+
+(* Level of the lowest common ancestor of two servers: 0 when equal,
+   otherwise the level of the first shared node on the two root paths. *)
+let lca_level the_tree s1 s2 =
+  if s1 = s2 then 0
+  else
+    let rec go id =
+      let lo, hi = Tree.server_range the_tree id in
+      if lo <= s2 && s2 <= hi then Tree.level the_tree id
+      else
+        match Tree.parent the_tree id with
+        | Some p -> go p
+        | None -> Tree.level the_tree id
+    in
+    go s1
+
+(* Reserve [bw] for one pipe from [src] to [dst]: up-direction on the
+   source side of the path, down-direction on the destination side. *)
+let reserve_pipe txn the_tree ~src ~dst bw =
+  if src = dst || bw <= 0. then true
+  else begin
+    let top = lca_level the_tree src dst in
+    let rec climb server dir id =
+      if Tree.level the_tree id >= top then true
+      else
+        let up, down = if dir = `Up then (bw, 0.) else (0., bw) in
+        if Reservation.reserve_bw txn ~node:id ~up ~down then
+          match Tree.parent the_tree id with
+          | Some p -> climb server dir p
+          | None -> true
+        else false
+    in
+    climb src `Up src && climb dst `Down dst
+  end
+
+let place t (req : Types.request) =
+  let the_tree = t.the_tree in
+  let tag = req.tag in
+  let total_vms = Tag.total_vms tag in
+  let slot_demand = Tag.total_slot_demand tag in
+  let reject () =
+    if Tree.free_slots_subtree the_tree (Tree.root the_tree) < slot_demand
+    then Types.No_slots
+    else Types.No_bandwidth
+  in
+  let pipes = Pipe.of_tag tag in
+  let vms = Pipe.vms_of_tag tag in
+  (* Adjacency: for each VM the pipes it terminates, as
+     (peer, out_bw, in_bw). *)
+  let adj : (Pipe.vm, (Pipe.vm * float * float) list) Hashtbl.t =
+    Hashtbl.create (Array.length vms)
+  in
+  let add_adj vm peer out_bw in_bw =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt adj vm) in
+    Hashtbl.replace adj vm ((peer, out_bw, in_bw) :: cur)
+  in
+  List.iter
+    (fun (p : Pipe.pipe) ->
+      add_adj p.src_vm p.dst_vm p.bw 0.;
+      add_adj p.dst_vm p.src_vm 0. p.bw)
+    pipes;
+  let degree vm =
+    List.fold_left
+      (fun acc (_, o, i) -> acc +. o +. i)
+      0.
+      (Option.value ~default:[] (Hashtbl.find_opt adj vm))
+  in
+  let order = Array.copy vms in
+  Array.sort (fun a b -> compare (degree b) (degree a)) order;
+  let assignment : (Pipe.vm, int) Hashtbl.t = Hashtbl.create total_vms in
+  let laa_count : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let laa_domain server =
+    match req.ha with
+    | None -> server
+    | Some { Types.laa_level; _ } ->
+        let rec up id =
+          if Tree.level the_tree id >= laa_level then id
+          else
+            match Tree.parent the_tree id with Some p -> up p | None -> id
+        in
+        up server
+  in
+  let ha_ok (vm : Pipe.vm) server =
+    match req.ha with
+    | None -> true
+    | Some { Types.rwcs; _ } ->
+        let bound =
+          Types.eq7_bound ~n_total:(Tag.size tag vm.comp) ~rwcs
+        in
+        let key = (laa_domain server, vm.comp) in
+        Option.value ~default:0 (Hashtbl.find_opt laa_count key) < bound
+  in
+  let note_ha (vm : Pipe.vm) server =
+    match req.ha with
+    | None -> ()
+    | Some _ ->
+        let key = (laa_domain server, vm.comp) in
+        Hashtbl.replace laa_count key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt laa_count key))
+  in
+  let txn = Reservation.start the_tree in
+  (* Cost of hosting [vm] on [server]: bandwidth-weighted LCA level to
+     every already-placed peer (SecondNet's locality objective). *)
+  let cost vm server =
+    List.fold_left
+      (fun acc (peer, o, i) ->
+        match Hashtbl.find_opt assignment peer with
+        | None -> acc
+        | Some ps -> acc +. ((o +. i) *. float_of_int (lca_level the_tree server ps)))
+      0.
+      (Option.value ~default:[] (Hashtbl.find_opt adj vm))
+  in
+  let try_server vm server =
+    let cp = Reservation.checkpoint txn in
+    let peers = Option.value ~default:[] (Hashtbl.find_opt adj vm) in
+    let ok =
+      Reservation.take_slots txn ~server (Tag.vm_slots tag vm.Pipe.comp)
+      && List.for_all
+           (fun (peer, o, i) ->
+             match Hashtbl.find_opt assignment peer with
+             | None -> true
+             | Some ps ->
+                 reserve_pipe txn the_tree ~src:server ~dst:ps o
+                 && reserve_pipe txn the_tree ~src:ps ~dst:server i)
+           peers
+    in
+    if ok then begin
+      Hashtbl.replace assignment vm server;
+      note_ha vm server;
+      true
+    end
+    else begin
+      Reservation.rollback_to txn cp;
+      false
+    end
+  in
+  let place_vm (vm : Pipe.vm) =
+    let slot_cost = Tag.vm_slots tag vm.Pipe.comp in
+    let candidates =
+      Array.to_list (Tree.servers the_tree)
+      |> List.filter (fun s ->
+             Tree.free_slots the_tree s >= slot_cost && ha_ok vm s)
+      |> List.map (fun s -> (cost vm s, s))
+      |> List.sort compare
+    in
+    List.exists (fun (_, s) -> try_server vm s) candidates
+  in
+  let all_placed = Array.for_all place_vm order in
+  if all_placed then begin
+    let locations = Array.make (Tag.n_components tag) [] in
+    let per_server : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun (vm : Pipe.vm) server ->
+        let key = (vm.comp, server) in
+        Hashtbl.replace per_server key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt per_server key)))
+      assignment;
+    Hashtbl.iter
+      (fun (comp, server) n -> locations.(comp) <- (server, n) :: locations.(comp))
+      per_server;
+    let locations = Array.map (List.sort compare) locations in
+    let committed = Reservation.commit txn in
+    Ok { Types.req; locations; committed }
+  end
+  else begin
+    Reservation.rollback txn;
+    Error (reject ())
+  end
+
+let release t (placement : Types.placement) =
+  Reservation.release t.the_tree placement.committed

@@ -1,0 +1,21 @@
+(** SecondNet-style pipe-model placement baseline (paper §5.1).
+
+    The tenant is converted to idealized VM-to-VM pipes
+    ({!Cm_tag.Pipe.of_tag}); VMs are then placed one at a time, most
+    communicative first, each onto the server that minimizes the
+    bandwidth-weighted path length to its already-placed peers, reserving
+    every pipe's bandwidth hop-by-hop on the tree.  This mirrors
+    SecondNet's greedy VM-to-slot assignment and exhibits the pipe
+    model's characteristic cost: per-VM work scales with both the number
+    of pipes and the number of servers, which is why the paper reports it
+    orders of magnitude slower than CloudMirror or Oktopus. *)
+
+type t
+
+val create : Cm_topology.Tree.t -> t
+val tree : t -> Cm_topology.Tree.t
+
+val place :
+  t -> Types.request -> (Types.placement, Types.reject_reason) result
+
+val release : t -> Types.placement -> unit

@@ -1,0 +1,34 @@
+module Tree = Cm_topology.Tree
+
+let find_lowest tree ~total_vms ~ext:(ext_out, ext_in) ~level =
+  let candidates =
+    List.filter
+      (fun id ->
+        Tree.free_slots_subtree tree id >= total_vms
+        &&
+        let up, down = Tree.available_to_root tree id in
+        up +. Tree.bw_epsilon >= ext_out && down +. Tree.bw_epsilon >= ext_in)
+      (Tree.nodes_at_level tree level)
+  in
+  List.fold_left
+    (fun acc id ->
+      let key = (Tree.free_slots_subtree tree id, id) in
+      match acc with
+      | Some (k, _) when k <= key -> acc
+      | _ -> Some (key, id))
+    None candidates
+  |> Option.map snd
+
+let all_under tree root =
+  let rec collect id acc =
+    let acc = id :: acc in
+    Array.fold_left (fun acc c -> collect c acc) acc (Tree.children tree id)
+  in
+  collect root []
+  |> List.sort (fun a b ->
+         compare (Tree.level tree a, a) (Tree.level tree b, b))
+
+let contains tree ~root id =
+  let rlo, rhi = Tree.server_range tree root in
+  let lo, hi = Tree.server_range tree id in
+  rlo <= lo && hi <= rhi && Tree.level tree id <= Tree.level tree root

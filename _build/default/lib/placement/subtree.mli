@@ -1,0 +1,18 @@
+(** Shared subtree-search helpers used by the placement algorithms. *)
+
+val find_lowest :
+  Cm_topology.Tree.t ->
+  total_vms:int ->
+  ext:float * float ->
+  level:int ->
+  int option
+(** [FindLowestSubtree] at one level: the best-fit (fewest free slots)
+    node of the level with room for the whole tenant and enough
+    path-to-root bandwidth for its external (out, in) demand. *)
+
+val all_under : Cm_topology.Tree.t -> int -> int list
+(** Every node of the subtree rooted at the given node (including it),
+    in ascending level order (servers first). *)
+
+val contains : Cm_topology.Tree.t -> root:int -> int -> bool
+(** Is a node within the subtree rooted at [root]? *)

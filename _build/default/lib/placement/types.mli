@@ -1,0 +1,41 @@
+(** Shared request/placement types for all placement algorithms. *)
+
+type ha_spec = {
+  rwcs : float;
+      (** Required worst-case survivability in [0, 1): the fraction of each
+          tier's VMs that must survive the failure of any single subtree at
+          [laa_level] (paper §4.5, Eq. 7). *)
+  laa_level : int;  (** Anti-affinity level; 0 = server (the default). *)
+}
+
+type request = {
+  tag : Cm_tag.Tag.t;
+  ha : ha_spec option;  (** [None]: no survivability guarantee requested. *)
+}
+
+val request : ?ha:ha_spec -> Cm_tag.Tag.t -> request
+
+type locations = (int * int) list array
+(** Per component, the list of [(server_id, vm_count)] pairs describing
+    where its VMs landed.  Counts are positive; servers appear at most once
+    per component. *)
+
+type placement = {
+  req : request;
+  locations : locations;
+  committed : Cm_topology.Reservation.committed;
+      (** Resources to hand back on departure. *)
+}
+
+type reject_reason =
+  | No_slots  (** Not enough free VM slots anywhere. *)
+  | No_bandwidth  (** Slots existed but no bandwidth-feasible placement. *)
+
+val reject_to_string : reject_reason -> string
+
+val vm_count : locations -> int
+(** Total VMs across all components. *)
+
+val eq7_bound : n_total:int -> rwcs:float -> int
+(** Eq. 7 cap on VMs of one tier under a single LAA-level subtree:
+    [max 1 (int_of_float (n_total * (1 - rwcs)))]. *)

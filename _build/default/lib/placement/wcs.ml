@@ -1,0 +1,34 @@
+module Tree = Cm_topology.Tree
+module Tag = Cm_tag.Tag
+
+let ancestor_at tree server laa_level =
+  let rec go id =
+    if Tree.level tree id >= laa_level then id
+    else
+      match Tree.parent tree id with Some p -> go p | None -> id
+  in
+  go server
+
+let per_component tree tag (locations : Types.locations) ~laa_level =
+  Array.mapi
+    (fun c placed ->
+      let total = Tag.size tag c in
+      if placed = [] then 0.
+      else begin
+        let per_domain = Hashtbl.create 8 in
+        List.iter
+          (fun (server, n) ->
+            let dom = ancestor_at tree server laa_level in
+            let cur =
+              Option.value ~default:0 (Hashtbl.find_opt per_domain dom)
+            in
+            Hashtbl.replace per_domain dom (cur + n))
+          placed;
+        let worst = Hashtbl.fold (fun _ n acc -> max n acc) per_domain 0 in
+        float_of_int (total - worst) /. float_of_int total
+      end)
+    locations
+
+let tenant_mean tree tag locations ~laa_level =
+  let per = per_component tree tag locations ~laa_level in
+  Cm_util.Stats.mean per

@@ -1,0 +1,21 @@
+(** Worst-case survivability (WCS) measurement (paper §4.5, after
+    Bodík et al.): for a tier, the smallest fraction of its VMs that
+    remain functional when any single subtree at the anti-affinity level
+    fails. *)
+
+val per_component :
+  Cm_topology.Tree.t ->
+  Cm_tag.Tag.t ->
+  Types.locations ->
+  laa_level:int ->
+  float array
+(** WCS of each component: [(N_t - max VMs under one LAA subtree) / N_t].
+    Components with no placed VMs get 0. *)
+
+val tenant_mean :
+  Cm_topology.Tree.t ->
+  Cm_tag.Tag.t ->
+  Types.locations ->
+  laa_level:int ->
+  float
+(** Unweighted mean over the tenant's components. *)

@@ -1,0 +1,1 @@
+lib/sim/driver.ml: Array Cm_placement Cm_tag Cm_topology List

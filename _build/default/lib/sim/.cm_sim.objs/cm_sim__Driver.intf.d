@@ -1,0 +1,1 @@
+lib/sim/driver.mli: Cm_placement Cm_topology

@@ -1,0 +1,1 @@
+lib/sim/failure.ml: Array Cm_placement Cm_tag Cm_topology Cm_util Float List

@@ -1,0 +1,1 @@
+lib/sim/failure.mli: Cm_placement Cm_tag Cm_topology Cm_util

@@ -1,0 +1,1 @@
+lib/sim/reserved_bw.mli: Cm_placement Cm_tag Cm_topology Cm_workload

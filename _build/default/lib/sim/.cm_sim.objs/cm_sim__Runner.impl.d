@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Cm_placement Cm_tag Cm_topology Cm_util Cm_workload Driver List

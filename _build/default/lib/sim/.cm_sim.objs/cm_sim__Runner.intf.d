@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Cm_placement Cm_topology Cm_workload Driver

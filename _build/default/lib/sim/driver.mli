@@ -1,0 +1,32 @@
+(** Uniform handle over the three placement algorithms, so the simulator
+    and the benchmark harness can swap them freely. *)
+
+type scheduler = {
+  sched_name : string;
+  place :
+    Cm_placement.Types.request ->
+    (Cm_placement.Types.placement, Cm_placement.Types.reject_reason) result;
+  release : Cm_placement.Types.placement -> unit;
+}
+
+val cm : ?policy:Cm_placement.Cm.policy -> Cm_topology.Tree.t -> scheduler
+(** CloudMirror (Algorithm 1).  The name reflects the policy: ["CM"],
+    ["CM+oppHA"], ["CM-coloc"], ["CM-balance"], ["CM+pipe"]... *)
+
+val oktopus : Cm_topology.Tree.t -> scheduler
+(** The improved Oktopus/VOC baseline, named ["OVOC"]. *)
+
+val secondnet : Cm_topology.Tree.t -> scheduler
+(** The SecondNet pipe baseline, named ["SecondNet"]. *)
+
+val round_robin : Cm_topology.Tree.t -> scheduler
+(** Bandwidth-oblivious strawman: spread VMs round-robin over servers
+    with free slots, reserving nothing.  Admission is slots-only, so its
+    "guarantees" are not backed by reservations — the end-to-end
+    evaluation uses it to show that enforcement cannot rescue an
+    unchecked placement.  Named ["RR"]. *)
+
+val vc : Cm_topology.Tree.t -> scheduler
+(** Oktopus placing the homogeneous virtual-cluster rendering of each
+    tenant ({!Cm_tag.Convert.to_vc}) — the VC baseline §5.1 reports as
+    always worse than VOC and TAG.  Named ["OVC"]. *)

@@ -1,0 +1,72 @@
+module Tree = Cm_topology.Tree
+module Tag = Cm_tag.Tag
+module Types = Cm_placement.Types
+module Wcs = Cm_placement.Wcs
+
+type tenant_outcome = {
+  tenant_name : string;
+  predicted_wcs : float array;
+  worst_survival : float array;
+  mean_survival : float array;
+}
+
+type result = { outcomes : tenant_outcome list; domains_failed : int }
+
+let lift tree node laa_level =
+  let rec up id =
+    if Tree.level tree id >= laa_level then id
+    else match Tree.parent tree id with Some p -> up p | None -> id
+  in
+  up node
+
+let survival tree tag (locations : Types.locations) ~domain ~laa_level =
+  let failed = lift tree domain laa_level in
+  let lo, hi = Tree.server_range tree failed in
+  Array.mapi
+    (fun c placed ->
+      let total = Tag.size tag c in
+      let lost =
+        List.fold_left
+          (fun acc (server, n) ->
+            if server >= lo && server <= hi then acc + n else acc)
+          0 placed
+      in
+      if total = 0 then 1.
+      else float_of_int (total - lost) /. float_of_int total)
+    locations
+
+let inject tree tenants ~laa_level ~domains =
+  let outcomes =
+    List.map
+      (fun (tag, locations) ->
+        let n_comp = Tag.n_components tag in
+        let worst = Array.make n_comp 1. in
+        let sum = Array.make n_comp 0. in
+        List.iter
+          (fun domain ->
+            let s = survival tree tag locations ~domain ~laa_level in
+            Array.iteri
+              (fun c v ->
+                worst.(c) <- Float.min worst.(c) v;
+                sum.(c) <- sum.(c) +. v)
+              s)
+          domains;
+        let k = float_of_int (max 1 (List.length domains)) in
+        {
+          tenant_name = Tag.name tag;
+          predicted_wcs = Wcs.per_component tree tag locations ~laa_level;
+          worst_survival = worst;
+          mean_survival = Array.map (fun s -> s /. k) sum;
+        })
+      tenants
+  in
+  { outcomes; domains_failed = List.length domains }
+
+let exhaustive tree tenants ~laa_level =
+  inject tree tenants ~laa_level ~domains:(Tree.nodes_at_level tree laa_level)
+
+let random rng tree tenants ~laa_level ~n =
+  if n <= 0 then invalid_arg "Failure.random: n must be positive";
+  let candidates = Array.of_list (Tree.nodes_at_level tree laa_level) in
+  let domains = List.init n (fun _ -> Cm_util.Rng.pick rng candidates) in
+  inject tree tenants ~laa_level ~domains

@@ -1,0 +1,51 @@
+(** Fault injection against deployed placements (§4.5).
+
+    Worst-case survivability is a {e prediction} made at placement time;
+    this module validates it by actually killing fault domains (subtrees
+    at a chosen level) and measuring the fraction of each tier's VMs that
+    survive.  Over an exhaustive sweep the measured worst case equals the
+    predicted WCS by construction — the equivalence is a test oracle for
+    the placement metadata — while random sampling models operational
+    failure rates. *)
+
+type tenant_outcome = {
+  tenant_name : string;
+  predicted_wcs : float array;  (** Per component (paper's WCS). *)
+  worst_survival : float array;
+      (** Per component: lowest surviving fraction over injected
+          failures. *)
+  mean_survival : float array;
+      (** Per component: mean surviving fraction over injected
+          failures. *)
+}
+
+type result = {
+  outcomes : tenant_outcome list;
+  domains_failed : int;  (** Number of fault domains injected. *)
+}
+
+val survival :
+  Cm_topology.Tree.t ->
+  Cm_tag.Tag.t ->
+  Cm_placement.Types.locations ->
+  domain:int ->
+  laa_level:int ->
+  float array
+(** Surviving fraction of each component when the fault domain containing
+    node [domain] (lifted to [laa_level]) fails. *)
+
+val exhaustive :
+  Cm_topology.Tree.t ->
+  (Cm_tag.Tag.t * Cm_placement.Types.locations) list ->
+  laa_level:int ->
+  result
+(** Inject every fault domain at the given level, one at a time. *)
+
+val random :
+  Cm_util.Rng.t ->
+  Cm_topology.Tree.t ->
+  (Cm_tag.Tag.t * Cm_placement.Types.locations) list ->
+  laa_level:int ->
+  n:int ->
+  result
+(** Inject [n] uniformly-sampled fault domains. *)

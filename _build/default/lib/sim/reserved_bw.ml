@@ -1,0 +1,100 @@
+module Tree = Cm_topology.Tree
+module Tag = Cm_tag.Tag
+module Bandwidth = Cm_tag.Bandwidth
+module Types = Cm_placement.Types
+module Pool = Cm_workload.Pool
+module Rng = Cm_util.Rng
+
+type row = { combo : string; per_level : float array }
+type result = { rows : row list; tenants_deployed : int }
+
+let account tree (placements : Types.placement list) ~model =
+  let n_levels = Tree.n_levels tree in
+  let totals = Array.make (n_levels - 1) 0. in
+  List.iter
+    (fun (p : Types.placement) ->
+      let tag = p.req.tag in
+      let counts : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+      let bump node c n =
+        let arr =
+          match Hashtbl.find_opt counts node with
+          | Some arr -> arr
+          | None ->
+              let arr = Array.make (Tag.n_components tag) 0 in
+              Hashtbl.add counts node arr;
+              arr
+        in
+        arr.(c) <- arr.(c) + n
+      in
+      Array.iteri
+        (fun c placed ->
+          List.iter
+            (fun (server, n) ->
+              List.iter
+                (fun node -> bump node c n)
+                (Tree.path_to_root tree server))
+            placed)
+        p.locations;
+      Hashtbl.iter
+        (fun node inside ->
+          let level = Tree.level tree node in
+          if level < n_levels - 1 then begin
+            let out, _in = Bandwidth.required model tag ~inside in
+            totals.(level) <- totals.(level) +. out
+          end)
+        counts)
+    placements;
+  Array.map (fun mbps -> mbps /. 1000.) totals
+
+let deploy_until_slot_rejection sched pool ~seed =
+  let rng = Rng.create seed in
+  let placements = ref [] in
+  let stop = ref false in
+  while not !stop do
+    let tag = Rng.pick rng pool.Pool.tags in
+    match sched.Driver.place (Types.request tag) with
+    | Ok p -> placements := p :: !placements
+    | Error _ -> stop := true
+  done;
+  List.rev !placements
+
+let run spec pool ~seed =
+  let unlimited = { spec with Tree.server_up_mbps = 1e12 } in
+  (* CloudMirror run: TAG reservations, then the same placement re-priced
+     under VOC accounting. *)
+  let cm_tree = Tree.create unlimited in
+  let cm_sched = Driver.cm cm_tree in
+  let cm_placements = deploy_until_slot_rejection cm_sched pool ~seed in
+  let cm_tag_row =
+    {
+      combo = "CM+TAG";
+      per_level = account cm_tree cm_placements ~model:Bandwidth.Tag_model;
+    }
+  in
+  let cm_voc_row =
+    {
+      combo = "CM+VOC";
+      per_level = account cm_tree cm_placements ~model:Bandwidth.Voc_model;
+    }
+  in
+  (* Oktopus deploys the same set of tenants on a fresh tree. *)
+  let ovoc_tree = Tree.create unlimited in
+  let ovoc_sched = Driver.oktopus ovoc_tree in
+  let ovoc_placements =
+    List.filter_map
+      (fun (p : Types.placement) ->
+        match ovoc_sched.Driver.place (Types.request p.req.tag) with
+        | Ok q -> Some q
+        | Error _ -> None)
+      cm_placements
+  in
+  let ovoc_row =
+    {
+      combo = "OVOC";
+      per_level = account ovoc_tree ovoc_placements ~model:Bandwidth.Voc_model;
+    }
+  in
+  {
+    rows = [ cm_tag_row; cm_voc_row; ovoc_row ];
+    tenants_deployed = List.length cm_placements;
+  }

@@ -1,0 +1,33 @@
+(** The Table 1 experiment: aggregate bandwidth reserved at each network
+    level under the three model/algorithm combinations.
+
+    Following §5.1: an idealized topology with unlimited link capacity,
+    arrivals only (no departures), stopping at the first tenant rejected
+    for lack of VM slots.  CM+TAG reports CloudMirror's reservations;
+    CM+VOC re-prices the {e same placement} under VOC accounting; OVOC
+    places the same arrival sequence with Oktopus and reports its VOC
+    reservations. *)
+
+type row = {
+  combo : string;  (** "CM+TAG", "CM+VOC" or "OVOC". *)
+  per_level : float array;
+      (** Reserved Gbps (up direction) per level, servers first, root
+          excluded. *)
+}
+
+val account :
+  Cm_topology.Tree.t ->
+  Cm_placement.Types.placement list ->
+  model:Cm_tag.Bandwidth.model ->
+  float array
+(** Re-price a set of placements under a different abstraction: per-level
+    total up-direction requirement (Gbps), computed from each tenant's
+    server locations via Eq. 1 / footnote 7 / uniform pipes. *)
+
+type result = {
+  rows : row list;
+  tenants_deployed : int;  (** Same count for all combos by construction. *)
+}
+
+val run :
+  Cm_topology.Tree.spec -> Cm_workload.Pool.t -> seed:int -> result

@@ -1,0 +1,146 @@
+module Tree = Cm_topology.Tree
+module Tag = Cm_tag.Tag
+module Types = Cm_placement.Types
+module Wcs = Cm_placement.Wcs
+module Pool = Cm_workload.Pool
+module Rng = Cm_util.Rng
+module Pqueue = Cm_util.Pqueue
+
+type config = {
+  seed : int;
+  n_arrivals : int;
+  load : float;
+  dwell_time : float;
+  ha : Types.ha_spec option;
+  wcs_level : int;
+}
+
+let default_config =
+  {
+    seed = 1;
+    n_arrivals = 2000;
+    load = 0.5;
+    dwell_time = 1000.;
+    ha = None;
+    wcs_level = 0;
+  }
+
+type result = {
+  arrivals : int;
+  accepted : int;
+  rejected : int;
+  rejected_no_slots : int;
+  rejected_no_bw : int;
+  offered_vms : int;
+  rejected_vms : int;
+  offered_bw : float;
+  rejected_bw : float;
+  wcs_per_component : float array;
+  mean_utilization : float;
+}
+
+let vm_rejection_rate r =
+  100. *. Cm_util.Stats.ratio (float_of_int r.rejected_vms) (float_of_int r.offered_vms)
+
+let bw_rejection_rate r = 100. *. Cm_util.Stats.ratio r.rejected_bw r.offered_bw
+
+let tenant_rejection_rate r =
+  100. *. Cm_util.Stats.ratio (float_of_int r.rejected) (float_of_int r.arrivals)
+
+let mean_wcs r = 100. *. Cm_util.Stats.mean r.wcs_per_component
+
+let min_wcs r =
+  if Array.length r.wcs_per_component = 0 then 0.
+  else 100. *. fst (Cm_util.Stats.min_max r.wcs_per_component)
+
+let max_wcs r =
+  if Array.length r.wcs_per_component = 0 then 0.
+  else 100. *. snd (Cm_util.Stats.min_max r.wcs_per_component)
+
+let run (sched : Driver.scheduler) tree pool config =
+  if config.load <= 0. then invalid_arg "Runner.run: load must be positive";
+  let rng = Rng.create config.seed in
+  let lambda =
+    config.load
+    *. float_of_int (Tree.total_slots tree)
+    /. (Pool.mean_size pool *. config.dwell_time)
+  in
+  let departures = Pqueue.create () in
+  let clock = ref 0. in
+  let accepted = ref 0
+  and rejected = ref 0
+  and rejected_no_slots = ref 0
+  and rejected_no_bw = ref 0
+  and offered_vms = ref 0
+  and rejected_vms = ref 0
+  and offered_bw = ref 0.
+  and rejected_bw = ref 0. in
+  let wcs_samples = ref [] in
+  let util_sum = ref 0. in
+  let total_slots = float_of_int (Tree.total_slots tree) in
+  for _ = 1 to config.n_arrivals do
+    clock := !clock +. Rng.exponential rng ~rate:lambda;
+    (* Process departures scheduled before this arrival. *)
+    let rec drain () =
+      match Pqueue.peek departures with
+      | Some (t, _) when t <= !clock -> begin
+          match Pqueue.pop departures with
+          | Some (_, placement) ->
+              sched.Driver.release placement;
+              drain ()
+          | None -> ()
+        end
+      | Some _ | None -> ()
+    in
+    drain ();
+    util_sum :=
+      !util_sum
+      +. (total_slots -. float_of_int (Tree.free_slots_subtree tree (Tree.root tree)))
+         /. total_slots;
+    let tag = Rng.pick rng pool.Pool.tags in
+    let vms = Tag.total_vms tag in
+    let bw = Tag.aggregate_bandwidth tag in
+    offered_vms := !offered_vms + vms;
+    offered_bw := !offered_bw +. bw;
+    match sched.Driver.place (Types.request ?ha:config.ha tag) with
+    | Ok placement ->
+        incr accepted;
+        (* Use the placement's own TAG: schedulers may deploy a converted
+           rendering (e.g. the VC baseline) with different components. *)
+        let wcs =
+          Wcs.per_component tree placement.Types.req.tag
+            placement.Types.locations ~laa_level:config.wcs_level
+        in
+        Array.iter (fun w -> wcs_samples := w :: !wcs_samples) wcs;
+        let dwell = Rng.exponential rng ~rate:(1. /. config.dwell_time) in
+        Pqueue.push departures (!clock +. dwell) placement
+    | Error reason ->
+        incr rejected;
+        rejected_vms := !rejected_vms + vms;
+        rejected_bw := !rejected_bw +. bw;
+        (match reason with
+        | Types.No_slots -> incr rejected_no_slots
+        | Types.No_bandwidth -> incr rejected_no_bw)
+  done;
+  (* Drain remaining tenants so the tree can be reused. *)
+  let rec drain_all () =
+    match Pqueue.pop departures with
+    | Some (_, placement) ->
+        sched.Driver.release placement;
+        drain_all ()
+    | None -> ()
+  in
+  drain_all ();
+  {
+    arrivals = config.n_arrivals;
+    accepted = !accepted;
+    rejected = !rejected;
+    rejected_no_slots = !rejected_no_slots;
+    rejected_no_bw = !rejected_no_bw;
+    offered_vms = !offered_vms;
+    rejected_vms = !rejected_vms;
+    offered_bw = !offered_bw;
+    rejected_bw = !rejected_bw;
+    wcs_per_component = Array.of_list (List.rev !wcs_samples);
+    mean_utilization = !util_sum /. float_of_int (max 1 config.n_arrivals);
+  }

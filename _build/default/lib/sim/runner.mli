@@ -1,0 +1,56 @@
+(** Poisson tenant arrival/departure simulation (paper §5 setup).
+
+    Tenants arrive as a Poisson process, are drawn uniformly from a pool,
+    dwell for an exponential time, and depart releasing their resources.
+    The arrival rate is derived from a target datacenter load:
+    [lambda = load * total_slots / (mean_tenant_size * dwell_time)] —
+    the paper's load definition solved for lambda. *)
+
+type config = {
+  seed : int;
+  n_arrivals : int;
+  load : float;  (** Target slot utilization in (0, 1]. *)
+  dwell_time : float;  (** Mean tenant dwell time Td (arbitrary units). *)
+  ha : Cm_placement.Types.ha_spec option;
+      (** Attached to every request (guaranteed-WCS experiments). *)
+  wcs_level : int;
+      (** Tree level at which achieved WCS is measured (usually the LAA
+          level; server = 0). *)
+}
+
+val default_config : config
+(** seed 1, 2000 arrivals, load 0.5, dwell 1000, no HA, WCS at servers. *)
+
+type result = {
+  arrivals : int;
+  accepted : int;
+  rejected : int;
+  rejected_no_slots : int;
+  rejected_no_bw : int;
+  offered_vms : int;
+  rejected_vms : int;
+  offered_bw : float;  (** Sum of tenants' aggregate guaranteed bandwidth. *)
+  rejected_bw : float;
+  wcs_per_component : float array;
+      (** Achieved WCS of every component of every accepted tenant,
+          measured at [wcs_level] at admission time. *)
+  mean_utilization : float;  (** Mean slot utilization sampled at arrivals. *)
+}
+
+val vm_rejection_rate : result -> float
+(** Rejected VMs / offered VMs, in percent. *)
+
+val bw_rejection_rate : result -> float
+(** Rejected bandwidth / offered bandwidth, in percent. *)
+
+val tenant_rejection_rate : result -> float
+
+val mean_wcs : result -> float
+(** Mean achieved WCS over all deployed components, in percent. *)
+
+val min_wcs : result -> float
+val max_wcs : result -> float
+
+val run :
+  Driver.scheduler -> Cm_topology.Tree.t -> Cm_workload.Pool.t -> config ->
+  result

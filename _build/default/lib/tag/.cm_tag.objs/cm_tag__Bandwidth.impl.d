@@ -1,0 +1,1 @@
+lib/tag/bandwidth.ml: Array Float List Printf Tag

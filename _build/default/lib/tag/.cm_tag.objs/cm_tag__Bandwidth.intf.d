@@ -1,0 +1,1 @@
+lib/tag/bandwidth.mli: Tag

@@ -1,0 +1,1 @@
+lib/tag/convert.ml: Float Tag

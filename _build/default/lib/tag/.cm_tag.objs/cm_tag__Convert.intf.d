@@ -1,0 +1,1 @@
+lib/tag/convert.mli: Tag

@@ -1,0 +1,1 @@
+lib/tag/examples.mli: Tag

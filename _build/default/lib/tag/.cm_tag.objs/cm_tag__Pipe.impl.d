@@ -1,0 +1,1 @@
+lib/tag/pipe.ml: Array List Printf Tag

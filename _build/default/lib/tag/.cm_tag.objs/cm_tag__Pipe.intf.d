@@ -1,0 +1,1 @@
+lib/tag/pipe.mli: Tag

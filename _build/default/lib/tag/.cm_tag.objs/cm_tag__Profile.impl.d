@@ -1,0 +1,1 @@
+lib/tag/profile.ml: Array Cm_util Float List Tag

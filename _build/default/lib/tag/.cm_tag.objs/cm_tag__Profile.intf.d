@@ -1,0 +1,1 @@
+lib/tag/profile.mli: Cm_util Tag

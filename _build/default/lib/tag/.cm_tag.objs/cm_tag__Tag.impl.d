@@ -1,0 +1,1 @@
+lib/tag/tag.ml: Array Buffer Float Format Hashtbl List Printf

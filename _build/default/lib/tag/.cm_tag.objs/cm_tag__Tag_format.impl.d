@@ -1,0 +1,1 @@
+lib/tag/tag_format.ml: Array Buffer In_channel List Printf Result String Tag

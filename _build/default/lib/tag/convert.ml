@@ -1,0 +1,21 @@
+let vc_per_vm_bw tag =
+  let rate = ref 0. in
+  for c = 0 to Tag.n_components tag - 1 do
+    rate :=
+      Float.max !rate
+        (Float.max (Tag.per_vm_send tag c) (Tag.per_vm_recv tag c))
+  done;
+  !rate
+
+let to_vc tag =
+  let size = Tag.total_vms tag in
+  let bw = vc_per_vm_bw tag in
+  if size = 1 || bw = 0. then
+    (* A hose needs peers; a singleton or traffic-free tenant keeps just
+       its slots. *)
+    Tag.create
+      ~name:(Tag.name tag ^ "-vc")
+      ~components:[ ("vc", size) ]
+      ~edges:[] ()
+  else
+    Tag.hose ~name:(Tag.name tag ^ "-vc") ~tier:"vc" ~size ~bw ()

@@ -1,0 +1,15 @@
+(** Renderings of a TAG under the coarser abstractions the paper
+    compares against. *)
+
+val to_vc : Tag.t -> Tag.t
+(** Homogeneous {e virtual cluster} (Oktopus's VC model): one component
+    holding all the tenant's VMs, attached to a hose sized at the
+    largest per-VM guarantee found anywhere in the TAG — the smallest
+    homogeneous hose that covers every VM.  §5.1 notes the authors
+    evaluated VC and "found [it] always performed worse than VOC and
+    TAG", omitting it from the tables; the [OVC] scheduler reproduces
+    that finding.  External components are dropped (a VC cannot express
+    them). *)
+
+val vc_per_vm_bw : Tag.t -> float
+(** The hose rate {!to_vc} uses. *)

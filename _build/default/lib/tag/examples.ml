@@ -1,0 +1,50 @@
+let three_tier ?(n_web = 4) ?(n_logic = 4) ?(n_db = 4) ~b1 ~b2 ~b3 () =
+  Tag.create ~name:"three-tier-web"
+    ~components:[ ("web", n_web); ("logic", n_logic); ("db", n_db) ]
+    ~edges:
+      [
+        (0, 1, b1, b1);
+        (1, 0, b1, b1);
+        (1, 2, b2, b2);
+        (2, 1, b2, b2);
+        (2, 2, b3, b3);
+      ]
+    ()
+
+let storm ~s ~b =
+  Tag.create ~name:"storm"
+    ~components:
+      [ ("spout1", s); ("bolt1", s); ("bolt2", s); ("bolt3", s) ]
+    ~edges:[ (0, 1, b, b); (0, 2, b, b); (2, 3, b, b); (3, 1, b, b) ]
+    ()
+
+let fig4 ?(n_web = 2) ?(n_db = 2) () =
+  Tag.create ~name:"fig4"
+    ~components:[ ("web", n_web); ("logic", 1); ("db", n_db) ]
+    ~edges:
+      [
+        (0, 1, 500. /. float_of_int n_web, 500.);
+        (2, 1, 100. /. float_of_int n_db, 100.);
+      ]
+    ()
+
+let fig5 ~n1 ~n2 ~b1 ~b2 ~b2_in =
+  Tag.create ~name:"fig5"
+    ~components:[ ("C1", n1); ("C2", n2) ]
+    ~edges:[ (0, 1, b1, b2); (1, 1, b2_in, b2_in) ]
+    ()
+
+let fig6 () =
+  Tag.create ~name:"fig6"
+    ~components:[ ("A", 2); ("B", 2); ("C", 4) ]
+    ~edges:[ (0, 0, 4., 4.); (1, 1, 4., 4.); (2, 2, 6., 6.) ]
+    ()
+
+let batch ?(name = "batch") ~size ~bw () =
+  Tag.hose ~name ~tier:"worker" ~size ~bw ()
+
+let fig13 () =
+  Tag.create ~name:"fig13"
+    ~components:[ ("C1", 1); ("C2", 6) ]
+    ~edges:[ (0, 1, 450., 450.); (1, 1, 450., 450.) ]
+    ()

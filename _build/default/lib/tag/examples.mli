@@ -1,0 +1,40 @@
+(** The illustrative applications used throughout the paper, as ready-made
+    TAGs.  Component indices are stated per constructor so tests and
+    examples can refer to tiers positionally. *)
+
+val three_tier :
+  ?n_web:int ->
+  ?n_logic:int ->
+  ?n_db:int ->
+  b1:float ->
+  b2:float ->
+  b3:float ->
+  unit ->
+  Tag.t
+(** Fig. 2(a): components 0=web, 1=logic, 2=db; web<->logic at [b1],
+    logic<->db at [b2] (per-VM, both directions), db self-loop at [b3].
+    Sizes default to 4 each. *)
+
+val storm : s:int -> b:float -> Tag.t
+(** Fig. 3(a): components 0=spout1, 1=bolt1, 2=bolt2, 3=bolt3, each of size
+    [s]; spout1->bolt1, spout1->bolt2, bolt2->bolt3, bolt3->bolt1, each with
+    per-VM guarantee [b] on both ends. *)
+
+val fig4 : ?n_web:int -> ?n_db:int -> unit -> Tag.t
+(** Fig. 4: 0=web, 1=logic (1 VM), 2=db; web->logic at 500 Mbps received
+    per logic VM, db->logic at 100 Mbps.  Defaults: 2 web, 2 db VMs. *)
+
+val fig5 : n1:int -> n2:int -> b1:float -> b2:float -> b2_in:float -> Tag.t
+(** Fig. 5(a): 0=C1, 1=C2; trunk C1->C2 labelled [<b1, b2>] and self-loop
+    on C2 at [b2_in]. *)
+
+val fig6 : unit -> Tag.t
+(** Fig. 6(a): three independent hose components 0=A (2 VMs, 4 Mbps),
+    1=B (2 VMs, 4 Mbps), 2=C (4 VMs, 6 Mbps) — total 8 VMs, 40 Mbps. *)
+
+val batch : ?name:string -> size:int -> bw:float -> unit -> Tag.t
+(** MapReduce-style all-to-all job: one component with a self-loop. *)
+
+val fig13 : unit -> Tag.t
+(** §5.2 prototype scenario: 0=C1 (1 VM: X), 1=C2 (6 VMs: Z + 5 senders);
+    trunk C1->C2 at <450,450> and C2 self-loop at 450 Mbps. *)

@@ -1,0 +1,82 @@
+type t = float array
+
+let create slots =
+  if Array.length slots = 0 then invalid_arg "Profile.create: empty";
+  Array.iter
+    (fun v -> if v < 0. then invalid_arg "Profile.create: negative multiplier")
+    slots;
+  Array.copy slots
+
+let constant v = create [| v |]
+
+let diurnal rng ~n_slots =
+  if n_slots <= 0 then invalid_arg "Profile.diurnal: n_slots must be positive";
+  let phase = Cm_util.Rng.float rng (2. *. Float.pi) in
+  let raw =
+    Array.init n_slots (fun i ->
+        let x =
+          2. *. Float.pi *. float_of_int i /. float_of_int n_slots
+        in
+        let base = 0.625 +. (0.375 *. sin (x +. phase)) in
+        let noise = 1. +. Cm_util.Rng.gaussian rng ~mu:0. ~sigma:0.05 in
+        Float.max 0.05 (base *. noise))
+  in
+  let peak = Array.fold_left Float.max 0. raw in
+  create (Array.map (fun v -> v /. peak) raw)
+
+let n_slots = Array.length
+let at t i = t.(((i mod Array.length t) + Array.length t) mod Array.length t)
+let peak t = Array.fold_left Float.max 0. t
+let mean t = Array.fold_left ( +. ) 0. t /. float_of_int (Array.length t)
+
+let resample t ~n_slots:m =
+  if m <= 0 then invalid_arg "Profile.resample: n_slots must be positive";
+  let n = Array.length t in
+  create
+    (Array.init m (fun i ->
+         (* Piecewise-constant: slot i of the new grid reads the source
+            slot covering the same phase. *)
+         t.(i * n / m)))
+
+let scale_tag tag t ~slot = Tag.scale_bw tag (at t slot)
+let peak_tag tag t = Tag.scale_bw tag (peak t)
+
+type multiplexing = {
+  sum_of_peaks : float;
+  peak_of_sums : float;
+  saving_fraction : float;
+}
+
+let multiplexing tenants =
+  match tenants with
+  | [] -> { sum_of_peaks = 0.; peak_of_sums = 0.; saving_fraction = 0. }
+  | _ ->
+      let resolution =
+        List.fold_left (fun acc (_, p) -> max acc (n_slots p)) 1 tenants
+      in
+      let tenants =
+        List.map (fun (tag, p) -> (tag, resample p ~n_slots:resolution)) tenants
+      in
+      let sum_of_peaks =
+        List.fold_left
+          (fun acc (tag, p) ->
+            acc +. Tag.aggregate_bandwidth (peak_tag tag p))
+          0. tenants
+      in
+      let peak_of_sums = ref 0. in
+      for slot = 0 to resolution - 1 do
+        let total =
+          List.fold_left
+            (fun acc (tag, p) ->
+              acc +. Tag.aggregate_bandwidth (scale_tag tag p ~slot))
+            0. tenants
+        in
+        peak_of_sums := Float.max !peak_of_sums total
+      done;
+      {
+        sum_of_peaks;
+        peak_of_sums = !peak_of_sums;
+        saving_fraction =
+          (if sum_of_peaks = 0. then 0.
+           else 1. -. (!peak_of_sums /. sum_of_peaks));
+      }

@@ -1,0 +1,54 @@
+(** Time-varying bandwidth profiles (paper §6: "CloudMirror can adopt
+    existing approaches, such as workload profiling [18] or history-based
+    prediction [45], to be even more efficient").
+
+    A profile is a cyclic sequence of non-negative multipliers — one per
+    time slot (e.g. 24 hourly slots) — applied to every guarantee of a
+    TAG.  Reserving each tenant's {e peak} is always safe; slot-aware
+    (TIVC-style) reservations provision, per slot, only what that slot
+    needs, and the gap between [sum-of-peaks] and [peak-of-sums] is the
+    temporal-multiplexing saving this module quantifies. *)
+
+type t
+
+val create : float array -> t
+(** @raise Invalid_argument on an empty array or a negative value. *)
+
+val constant : float -> t
+(** Single-slot flat profile. *)
+
+val diurnal : Cm_util.Rng.t -> n_slots:int -> t
+(** A plausible day-night curve: a randomly-phased sinusoid between
+    ~0.25 and 1.0 with small multiplicative noise, normalized so the
+    peak slot is exactly 1. *)
+
+val n_slots : t -> int
+val at : t -> int -> float
+(** Cyclic: [at t i] uses [i mod n_slots]. *)
+
+val peak : t -> float
+val mean : t -> float
+
+val resample : t -> n_slots:int -> t
+(** Piecewise-constant resampling onto a different slot count (used to
+    align tenants with heterogeneous resolutions). *)
+
+val scale_tag : Tag.t -> t -> slot:int -> Tag.t
+(** The TAG's guarantees during one slot. *)
+
+val peak_tag : Tag.t -> t -> Tag.t
+(** The TAG a peak reservation must provision (multiplier {!peak}). *)
+
+type multiplexing = {
+  sum_of_peaks : float;
+      (** Aggregate bandwidth if every tenant reserves its peak. *)
+  peak_of_sums : float;
+      (** Largest per-slot aggregate — what slot-aware reservations
+          need. *)
+  saving_fraction : float;  (** [1 - peak_of_sums / sum_of_peaks]. *)
+}
+
+val multiplexing : (Tag.t * t) list -> multiplexing
+(** Temporal-multiplexing analysis over a tenant population; profiles
+    are resampled to a common resolution first.  Tenant "bandwidth" is
+    {!Tag.aggregate_bandwidth}. *)

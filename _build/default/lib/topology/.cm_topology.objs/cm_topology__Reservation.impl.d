@@ -1,0 +1,1 @@
+lib/topology/reservation.ml: List Tree

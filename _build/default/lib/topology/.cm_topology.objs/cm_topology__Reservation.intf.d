@@ -1,0 +1,1 @@
+lib/topology/reservation.mli: Tree

@@ -1,0 +1,32 @@
+let validate ?(core_ratio = 1.) ~k () =
+  if k < 4 || k mod 2 <> 0 then
+    invalid_arg "Fat_tree: k must be an even integer >= 4";
+  if core_ratio <= 0. || core_ratio > 1. then
+    invalid_arg "Fat_tree: core_ratio must be in (0, 1]"
+
+let n_servers ~k = k * k * k / 4
+
+let spec ?(core_ratio = 1.) ~k ~slots_per_server ~server_up_mbps () =
+  validate ~core_ratio ~k ();
+  (* Logical levels: root (core layer) -> k pods -> k/2 edge switches
+     per pod -> k/2 servers per edge switch.
+
+     Physical capacities per direction:
+     - edge switch to aggregation layer: (k/2) uplinks = (k/2) * rate;
+       equal to its (k/2) server downlinks -> oversubscription 1.
+     - pod to core: (k/2)^2 links * core_ratio; the pod's edge layer
+       carries (k/2)^2 server links, so the pod oversubscription is
+       1 / core_ratio. *)
+  {
+    Tree.degrees = [ k; k / 2; k / 2 ];
+    slots_per_server;
+    server_up_mbps;
+    oversub = [ 1.; 1. /. core_ratio ];
+  }
+
+let create ?(core_ratio = 1.) ~k ~slots_per_server ~server_up_mbps () =
+  Tree.create (spec ~core_ratio ~k ~slots_per_server ~server_up_mbps ())
+
+let bisection_bandwidth ?(core_ratio = 1.) ~k ~server_up_mbps () =
+  validate ~core_ratio ~k ();
+  core_ratio *. float_of_int (n_servers ~k) *. server_up_mbps

@@ -1,0 +1,41 @@
+(** Multi-rooted (fat-tree) datacenters, reduced to the logical tree the
+    placement algorithms operate on.
+
+    The paper describes its algorithm on a single-rooted tree and notes
+    it "can similarly be applied to a multi-rooted tree": with ECMP-style
+    load balancing, a fat-tree's core layer behaves as one logical root
+    whose downlink to each pod aggregates the pod's core-facing
+    capacity.  This module builds that reduction: a k-ary fat-tree
+    (k pods, k/2 edge and k/2 aggregation switches per pod, (k/2)^2 core
+    switches, k^3/4 servers) becomes a 3-level {!Tree.spec} whose
+    level capacities equal the fat-tree layer capacities, exactly for
+    the full (rearrangeably non-blocking) topology and proportionally
+    for core-trimmed variants. *)
+
+val spec :
+  ?core_ratio:float ->
+  k:int ->
+  slots_per_server:int ->
+  server_up_mbps:float ->
+  unit ->
+  Tree.spec
+(** Logical reduction of a k-ary fat-tree.  [core_ratio] in (0, 1]
+    scales the core layer (1 = full bisection; 0.25 = 4x oversubscribed
+    pod uplinks).  @raise Invalid_argument unless [k] is even and >= 4,
+    or if [core_ratio] is outside (0, 1]. *)
+
+val create :
+  ?core_ratio:float ->
+  k:int ->
+  slots_per_server:int ->
+  server_up_mbps:float ->
+  unit ->
+  Tree.t
+
+val n_servers : k:int -> int
+(** [k^3 / 4]. *)
+
+val bisection_bandwidth :
+  ?core_ratio:float -> k:int -> server_up_mbps:float -> unit -> float
+(** Aggregate core capacity: [core_ratio * k^3/4 * server_up] — the
+    full fat-tree carries every server at line rate. *)

@@ -1,0 +1,94 @@
+type op =
+  | Slots of { server : int; n : int }
+  | Bw of { node : int; up : float; down : float }
+
+type t = { the_tree : Tree.t; mutable ops : op list; mutable count : int }
+type checkpoint = int
+type committed = op list
+
+let start the_tree = { the_tree; ops = []; count = 0 }
+let tree t = t.the_tree
+let is_empty t = t.count = 0
+
+let record t op =
+  t.ops <- op :: t.ops;
+  t.count <- t.count + 1
+
+let take_slots t ~server n =
+  if n < 0 then invalid_arg "Reservation.take_slots: negative count";
+  if n = 0 then true
+  else if Tree.free_slots t.the_tree server < n then false
+  else begin
+    Tree.unchecked_take_slots t.the_tree ~server n;
+    record t (Slots { server; n });
+    true
+  end
+
+(* Recorded as a negative take so commit/release handle it uniformly. *)
+let return_slots t ~server n =
+  if n < 0 then invalid_arg "Reservation.return_slots: negative count";
+  if n = 0 then true
+  else if
+    Tree.free_slots t.the_tree server + n > Tree.slots_per_server t.the_tree
+  then false
+  else begin
+    Tree.unchecked_return_slots t.the_tree ~server n;
+    record t (Slots { server; n = -n });
+    true
+  end
+
+let reserve_bw t ~node ~up ~down =
+  if up = 0. && down = 0. then true
+  else
+    let ok_up = up <= 0. || Tree.fits_up t.the_tree ~node up in
+    let ok_down = down <= 0. || Tree.fits_down t.the_tree ~node down in
+    if ok_up && ok_down then begin
+      Tree.unchecked_add_bw t.the_tree ~node ~up ~down;
+      record t (Bw { node; up; down });
+      true
+    end
+    else false
+
+let undo_op the_tree = function
+  | Slots { server; n } ->
+      if n >= 0 then Tree.unchecked_return_slots the_tree ~server n
+      else Tree.unchecked_take_slots the_tree ~server (-n)
+  | Bw { node; up; down } ->
+      Tree.unchecked_add_bw the_tree ~node ~up:(-.up) ~down:(-.down)
+
+let checkpoint t = t.count
+
+let rollback_to t cp =
+  if cp < 0 || cp > t.count then invalid_arg "Reservation.rollback_to";
+  while t.count > cp do
+    match t.ops with
+    | [] -> assert false
+    | op :: rest ->
+        undo_op t.the_tree op;
+        t.ops <- rest;
+        t.count <- t.count - 1
+  done
+
+let rollback t = rollback_to t 0
+
+let commit t =
+  let committed = t.ops in
+  t.ops <- [];
+  t.count <- 0;
+  committed
+
+let release the_tree committed = List.iter (undo_op the_tree) committed
+
+let apply_op the_tree = function
+  | Slots { server; n } ->
+      if n >= 0 then Tree.unchecked_take_slots the_tree ~server n
+      else Tree.unchecked_return_slots the_tree ~server (-n)
+  | Bw { node; up; down } -> Tree.unchecked_add_bw the_tree ~node ~up ~down
+
+let reapply the_tree committed =
+  List.iter (apply_op the_tree) (List.rev committed)
+
+(* Committed op lists are newest-first; keep the later set in front so
+   release stays a LIFO undo (slot returns must be re-taken before the
+   original takes are returned). *)
+let merge earlier later = later @ earlier

@@ -1,0 +1,285 @@
+type node = {
+  level : int;
+  parent : int; (* -1 for the root *)
+  children : int array;
+  up_capacity : float;
+  mutable reserved_up : float;
+  mutable reserved_down : float;
+  mutable free_slots : int; (* servers only *)
+  mutable free_subtree : int; (* free slots in the whole subtree *)
+}
+
+type t = {
+  nodes : node array;
+  root_id : int;
+  server_ids : int array;
+  slots_per_server : int;
+  n_levels : int;
+  (* Inclusive server-id range under each node (server ids are assigned
+     contiguously left-to-right, so every subtree is a range). *)
+  ranges : (int * int) array;
+  level_index : int list array; (* node ids per level *)
+}
+
+type spec = {
+  degrees : int list;
+  slots_per_server : int;
+  server_up_mbps : float;
+  oversub : float list;
+}
+
+let default_spec =
+  {
+    degrees = [ 8; 16; 16 ];
+    slots_per_server = 25;
+    server_up_mbps = 10_000.;
+    oversub = [ 4.; 8. ];
+  }
+
+let bw_epsilon = 1e-6
+
+let validate_spec spec =
+  if spec.degrees = [] then invalid_arg "Tree.create: empty degrees";
+  List.iter
+    (fun d -> if d <= 0 then invalid_arg "Tree.create: non-positive degree")
+    spec.degrees;
+  if spec.slots_per_server <= 0 then
+    invalid_arg "Tree.create: non-positive slots_per_server";
+  if spec.server_up_mbps <= 0. then
+    invalid_arg "Tree.create: non-positive server uplink";
+  if List.length spec.oversub <> List.length spec.degrees - 1 then
+    invalid_arg "Tree.create: oversub must have (length degrees - 1) entries";
+  List.iter
+    (fun o -> if o <= 0. then invalid_arg "Tree.create: non-positive oversub")
+    spec.oversub
+
+let create spec =
+  validate_spec spec;
+  let depth = List.length spec.degrees in
+  (* Level of a node, bottom-up: servers are 0, root is [depth]. *)
+  let n_servers = List.fold_left ( * ) 1 spec.degrees in
+  let subtree_sizes_per_level =
+    (* servers under one node of each level, index = level *)
+    let arr = Array.make (depth + 1) 1 in
+    let rec fill level = function
+      | [] -> ()
+      | d :: rest ->
+          arr.(level) <- arr.(level - 1) * d;
+          fill (level + 1) rest
+    in
+    fill 1 (List.rev spec.degrees);
+    arr
+  in
+  (* Uplink capacity of a node at each level. *)
+  let capacities = Array.make (depth + 1) infinity in
+  capacities.(0) <- spec.server_up_mbps;
+  let oversub = Array.of_list spec.oversub in
+  let degrees_bottom_up = Array.of_list (List.rev spec.degrees) in
+  for l = 1 to depth - 1 do
+    capacities.(l) <-
+      float_of_int degrees_bottom_up.(l - 1)
+      *. capacities.(l - 1) /. oversub.(l - 1)
+  done;
+  let n_internal =
+    let count = ref 1 in
+    let per_level = ref 1 in
+    List.iter
+      (fun d ->
+        per_level := !per_level * d;
+        count := !count + !per_level)
+      spec.degrees;
+    !count - n_servers
+  in
+  let n_nodes = n_servers + n_internal in
+  let dummy =
+    {
+      level = -1;
+      parent = -1;
+      children = [||];
+      up_capacity = 0.;
+      reserved_up = 0.;
+      reserved_down = 0.;
+      free_slots = 0;
+      free_subtree = 0;
+    }
+  in
+  let nodes = Array.make n_nodes dummy in
+  let ranges = Array.make n_nodes (0, 0) in
+  let next_server = ref 0 in
+  let next_internal = ref n_servers in
+  let degrees_top_down = Array.of_list spec.degrees in
+  (* Build recursively; [depth_from_top] 0 = root. *)
+  let rec build depth_from_top parent =
+    let level = depth - depth_from_top in
+    if level = 0 then begin
+      let id = !next_server in
+      incr next_server;
+      nodes.(id) <-
+        {
+          level = 0;
+          parent;
+          children = [||];
+          up_capacity = capacities.(0);
+          reserved_up = 0.;
+          reserved_down = 0.;
+          free_slots = spec.slots_per_server;
+          free_subtree = spec.slots_per_server;
+        };
+      ranges.(id) <- (id, id);
+      id
+    end
+    else begin
+      let id = !next_internal in
+      incr next_internal;
+      let degree = degrees_top_down.(depth_from_top) in
+      let children =
+        Array.init degree (fun _ -> build (depth_from_top + 1) id)
+      in
+      nodes.(id) <-
+        {
+          level;
+          parent;
+          children;
+          up_capacity = capacities.(level);
+          reserved_up = 0.;
+          reserved_down = 0.;
+          free_slots = 0;
+          free_subtree = subtree_sizes_per_level.(level) * spec.slots_per_server;
+        };
+      ranges.(id) <- (fst ranges.(children.(0)), snd ranges.(children.(degree - 1)));
+      id
+    end
+  in
+  let root_id = build 0 (-1) in
+  let level_index = Array.make (depth + 1) [] in
+  for id = n_nodes - 1 downto 0 do
+    let l = nodes.(id).level in
+    level_index.(l) <- id :: level_index.(l)
+  done;
+  {
+    nodes;
+    root_id;
+    server_ids = Array.init n_servers (fun i -> i);
+    slots_per_server = spec.slots_per_server;
+    n_levels = depth + 1;
+    ranges;
+    level_index;
+  }
+
+let create_default () = create default_spec
+
+let n_nodes t = Array.length t.nodes
+let n_servers t = Array.length t.server_ids
+let n_levels t = t.n_levels
+let root t = t.root_id
+let level t id = t.nodes.(id).level
+
+let parent t id =
+  let p = t.nodes.(id).parent in
+  if p < 0 then None else Some p
+
+let children t id = t.nodes.(id).children
+let is_server t id = t.nodes.(id).level = 0
+let servers t = t.server_ids
+let nodes_at_level t l = t.level_index.(l)
+let server_range t id = t.ranges.(id)
+
+let subtree_servers t id =
+  let lo, hi = t.ranges.(id) in
+  List.init (hi - lo + 1) (fun i -> lo + i)
+
+let path_to_root t id =
+  let rec go id acc =
+    let acc = id :: acc in
+    let p = t.nodes.(id).parent in
+    if p < 0 then List.rev acc else go p acc
+  in
+  go id []
+
+let total_slots (t : t) = n_servers t * t.slots_per_server
+let slots_per_server (t : t) = t.slots_per_server
+
+let free_slots t id =
+  if is_server t id then t.nodes.(id).free_slots else 0
+
+let free_slots_subtree t id = t.nodes.(id).free_subtree
+let uplink_capacity t id = t.nodes.(id).up_capacity
+let reserved_up t id = t.nodes.(id).reserved_up
+let reserved_down t id = t.nodes.(id).reserved_down
+
+let available_up t id =
+  t.nodes.(id).up_capacity -. t.nodes.(id).reserved_up
+
+let available_down t id =
+  t.nodes.(id).up_capacity -. t.nodes.(id).reserved_down
+
+let available_to_root t id =
+  let rec go id (up, down) =
+    if id = t.root_id then (up, down)
+    else
+      let up = Float.min up (available_up t id) in
+      let down = Float.min down (available_down t id) in
+      go t.nodes.(id).parent (up, down)
+  in
+  go id (infinity, infinity)
+
+let unchecked_take_slots t ~server n =
+  let node = t.nodes.(server) in
+  assert (node.level = 0);
+  node.free_slots <- node.free_slots - n;
+  assert (node.free_slots >= 0);
+  let rec bubble id =
+    t.nodes.(id).free_subtree <- t.nodes.(id).free_subtree - n;
+    assert (t.nodes.(id).free_subtree >= 0);
+    let p = t.nodes.(id).parent in
+    if p >= 0 then bubble p
+  in
+  bubble server
+
+let unchecked_return_slots t ~server n =
+  let node = t.nodes.(server) in
+  assert (node.level = 0);
+  node.free_slots <- node.free_slots + n;
+  assert (node.free_slots <= t.slots_per_server);
+  let rec bubble id =
+    t.nodes.(id).free_subtree <- t.nodes.(id).free_subtree + n;
+    let p = t.nodes.(id).parent in
+    if p >= 0 then bubble p
+  in
+  bubble server
+
+let unchecked_add_bw t ~node ~up ~down =
+  let n = t.nodes.(node) in
+  n.reserved_up <- Float.max 0. (n.reserved_up +. up);
+  n.reserved_down <- Float.max 0. (n.reserved_down +. down)
+
+let fits_up t ~node amount =
+  t.nodes.(node).reserved_up +. amount
+  <= t.nodes.(node).up_capacity +. bw_epsilon
+
+let fits_down t ~node amount =
+  t.nodes.(node).reserved_down +. amount
+  <= t.nodes.(node).up_capacity +. bw_epsilon
+
+let utilization_summary t ~level =
+  let ids = t.level_index.(level) in
+  let n = List.length ids in
+  if n = 0 then (0., 0.)
+  else
+    let up, down =
+      List.fold_left
+        (fun (u, d) id ->
+          let node = t.nodes.(id) in
+          if Float.is_finite node.up_capacity && node.up_capacity > 0. then
+            ( u +. (node.reserved_up /. node.up_capacity),
+              d +. (node.reserved_down /. node.up_capacity) )
+          else (u, d))
+        (0., 0.) ids
+    in
+    (up /. float_of_int n, down /. float_of_int n)
+
+let reserved_at_level t ~level =
+  List.fold_left
+    (fun (u, d) id ->
+      (u +. t.nodes.(id).reserved_up, d +. t.nodes.(id).reserved_down))
+    (0., 0.) t.level_index.(level)

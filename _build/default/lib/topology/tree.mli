@@ -1,0 +1,113 @@
+(** Tree-shaped datacenter topology with per-node VM slots and directional
+    uplink capacities (paper §4, §5 simulation setup).
+
+    Levels are numbered bottom-up: level 0 nodes are servers (they hold VM
+    slots), the highest level is the single root.  Each non-root node has
+    an uplink to its parent with separate capacities for traffic leaving
+    the subtree ({e up}) and entering it ({e down}); reservations are
+    tracked per direction.
+
+    The structure is mutable — placement algorithms reserve and release
+    slots and bandwidth — but all mutation goes through this interface and
+    the {!Reservation} ledger so that releases are exact. *)
+
+type t
+
+type spec = {
+  degrees : int list;
+      (** Fan-out from the root downwards, e.g. [[8; 16; 16]] = root with 8
+          aggregation switches, 16 ToRs each, 16 servers per ToR (2048
+          servers, 4 levels including the root). *)
+  slots_per_server : int;
+  server_up_mbps : float;  (** Server NIC / uplink capacity, per direction. *)
+  oversub : float list;
+      (** Oversubscription factor of each switch level, bottom-up (first
+          element = ToR, last = the level below the root).  A node's uplink
+          capacity is the sum of its children's uplink capacities divided
+          by the level's factor.  Must have [length degrees - 1]
+          elements. *)
+}
+
+val default_spec : spec
+(** The paper's simulated datacenter: 2048 servers in a 3-level tree
+    ([[8; 16; 16]]), 25 slots per server, 10 Gbps server links, and the
+    32:8:1 capacity ratio (ToR 4x, aggregation 8x oversubscription). *)
+
+val create : spec -> t
+(** Build a fresh, empty datacenter.  @raise Invalid_argument on malformed
+    specs (empty/non-positive degrees, wrong [oversub] length...). *)
+
+val create_default : unit -> t
+
+(** {1 Structure queries} *)
+
+val n_nodes : t -> int
+val n_servers : t -> int
+val n_levels : t -> int
+(** Number of levels including the root; servers are level 0. *)
+
+val root : t -> int
+val level : t -> int -> int
+val parent : t -> int -> int option
+val children : t -> int -> int array
+val is_server : t -> int -> bool
+val servers : t -> int array
+val nodes_at_level : t -> int -> int list
+val server_range : t -> int -> int * int
+(** [(lo, hi)] inclusive range of server ids under a node. *)
+
+val subtree_servers : t -> int -> int list
+val path_to_root : t -> int -> int list
+(** Node ids from the given node (inclusive) up to the root (inclusive). *)
+
+val total_slots : t -> int
+
+(** {1 Slots} *)
+
+val slots_per_server : t -> int
+val free_slots : t -> int -> int
+(** Free slots on one server (level 0 only; 0 otherwise). *)
+
+val free_slots_subtree : t -> int -> int
+(** Free slots summed over all servers under the node (maintained
+    incrementally, O(1)). *)
+
+(** {1 Bandwidth} *)
+
+val uplink_capacity : t -> int -> float
+(** Per-direction uplink capacity toward the parent; [infinity] at the
+    root. *)
+
+val reserved_up : t -> int -> float
+val reserved_down : t -> int -> float
+val available_up : t -> int -> float
+val available_down : t -> int -> float
+
+val available_to_root : t -> int -> float * float
+(** Minimum available (up, down) bandwidth along the path from the node's
+    uplink to the root — the bandwidth a tenant placed entirely under the
+    node could still use to talk to the rest of the datacenter. *)
+
+(** {1 Raw mutation — used by {!Reservation}; keep reservations balanced} *)
+
+val unchecked_take_slots : t -> server:int -> int -> unit
+val unchecked_return_slots : t -> server:int -> int -> unit
+val unchecked_add_bw : t -> node:int -> up:float -> down:float -> unit
+(** [unchecked_add_bw] with negative amounts releases bandwidth. *)
+
+val bw_epsilon : float
+(** Tolerance used in capacity comparisons (guards against float drift in
+    reserve/release cycles). *)
+
+val fits_up : t -> node:int -> float -> bool
+(** [fits_up t ~node amount]: would reserving [amount] more up-bandwidth
+    still fit within capacity (within {!bw_epsilon})? *)
+
+val fits_down : t -> node:int -> float -> bool
+
+val utilization_summary : t -> level:int -> float * float
+(** Mean (up, down) utilization fraction over nodes of a level. *)
+
+val reserved_at_level : t -> level:int -> float * float
+(** Total (up, down) Mbps reserved on uplinks of the given level —
+    Table 1's "reserved bandwidth at server/ToR/agg level". *)

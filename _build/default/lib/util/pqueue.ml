@@ -1,0 +1,78 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* [heap] slots >= [size] are stale; a dummy entry fills them. *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let length q = q.size
+let is_empty q = q.size = 0
+
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow q entry =
+  let cap = Array.length q.heap in
+  if q.size = cap then begin
+    let new_cap = max 16 (2 * cap) in
+    let heap = Array.make new_cap entry in
+    Array.blit q.heap 0 heap 0 q.size;
+    q.heap <- heap
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < q.size && before q.heap.(l) q.heap.(i) then l else i in
+  let smallest =
+    if r < q.size && before q.heap.(r) q.heap.(smallest) then r else smallest
+  in
+  if smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(smallest);
+    q.heap.(smallest) <- tmp;
+    sift_down q smallest
+  end
+
+let push q prio value =
+  let entry = { prio; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  grow q entry;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let peek q =
+  if q.size = 0 then None
+  else
+    let e = q.heap.(0) in
+    Some (e.prio, e.value)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let e = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (e.prio, e.value)
+  end
+
+let clear q =
+  q.heap <- [||];
+  q.size <- 0;
+  q.next_seq <- 0

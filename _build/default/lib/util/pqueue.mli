@@ -1,0 +1,23 @@
+(** Mutable binary min-heap keyed by float priority.  Used as the event
+    queue of the arrival/departure simulator. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Fresh empty queue. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q priority v] inserts [v] with the given priority. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Smallest-priority element without removing it. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the smallest-priority element.  Ties are broken by
+    insertion order (earlier insertions first), making simulations
+    deterministic. *)
+
+val clear : 'a t -> unit

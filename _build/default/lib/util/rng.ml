@@ -1,0 +1,72 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators" (OOPSLA 2014). *)
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = bits64 t }
+let copy t = { state = t.state }
+
+let int t bound =
+  assert (bound > 0);
+  let mask = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+let uniform t =
+  (* 53 random bits mapped to [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let float t bound = uniform t *. bound
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~rate =
+  assert (rate > 0.);
+  let u = 1. -. uniform t in
+  -.log u /. rate
+
+let gaussian t ~mu ~sigma =
+  let u1 = 1. -. uniform t and u2 = uniform t in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+let log_normal t ~mu ~sigma = exp (gaussian t ~mu ~sigma)
+
+let range_float t ~lo ~hi =
+  assert (lo <= hi);
+  lo +. float t (hi -. lo)
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let pick_weighted t pairs =
+  assert (Array.length pairs > 0);
+  let total = Array.fold_left (fun acc (_, w) -> acc +. Float.max w 0.) 0. pairs in
+  assert (total > 0.);
+  let target = float t total in
+  let rec go i acc =
+    if i >= Array.length pairs - 1 then fst pairs.(Array.length pairs - 1)
+    else
+      let _, w = pairs.(i) in
+      let acc = acc +. Float.max w 0. in
+      if target < acc then fst pairs.(i) else go (i + 1) acc
+  in
+  go 0 0.
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,61 @@
+let total a = Array.fold_left ( +. ) 0. a
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0. else total a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.
+  else
+    let m = mean a in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. a
+    /. float_of_int n
+
+let stddev a = sqrt (variance a)
+
+let min_max a =
+  if Array.length a = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (a.(0), a.(0)) a
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median a = percentile a 50.
+
+let ratio num den = if den = 0. then 0. else num /. den
+
+let histogram a ~bins ~lo ~hi =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  let clamp i = max 0 (min (bins - 1) i) in
+  Array.iter
+    (fun x ->
+      let i = if width <= 0. then 0 else int_of_float ((x -. lo) /. width) in
+      let i = clamp i in
+      counts.(i) <- counts.(i) + 1)
+    a;
+  counts
+
+let cdf_points a =
+  let n = Array.length a in
+  if n = 0 then []
+  else
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    List.init n (fun i ->
+        (sorted.(i), float_of_int (i + 1) /. float_of_int n))

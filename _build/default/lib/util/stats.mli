@@ -1,0 +1,35 @@
+(** Small descriptive-statistics helpers used by the simulator and the
+    benchmark harness.  All functions operate on float arrays or lists and
+    never mutate their input. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for the empty array. *)
+
+val total : float array -> float
+(** Sum of the elements. *)
+
+val variance : float array -> float
+(** Population variance; 0 for arrays shorter than 2. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val min_max : float array -> float * float
+(** [(min, max)] of a non-empty array.  @raise Invalid_argument on empty. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [0, 100], using linear interpolation
+    between closest ranks.  @raise Invalid_argument on empty input. *)
+
+val median : float array -> float
+(** 50th percentile. *)
+
+val ratio : float -> float -> float
+(** [ratio num den] is [num /. den], or 0 when [den = 0]. *)
+
+val histogram : float array -> bins:int -> lo:float -> hi:float -> int array
+(** Fixed-width histogram; values outside [lo, hi) are clamped to the first
+    or last bin.  [bins] must be positive. *)
+
+val cdf_points : float array -> (float * float) list
+(** Sorted (value, cumulative fraction) points for plotting a CDF. *)

@@ -1,0 +1,65 @@
+type align = Left | Right
+
+type t = {
+  caption : string option;
+  headers : (string * align) list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ?caption headers = { caption; headers; rows = [] }
+
+let add_row t row =
+  let n_cols = List.length t.headers in
+  let n = List.length row in
+  if n > n_cols then invalid_arg "Table.add_row: too many cells";
+  let padded = row @ List.init (n_cols - n) (fun _ -> "") in
+  t.rows <- padded :: t.rows
+
+let add_float_row t ?(dec = 1) label values =
+  add_row t (label :: List.map (fun v -> Printf.sprintf "%.*f" dec v) values)
+
+let render t =
+  let rows = List.rev t.rows in
+  let headers = List.map fst t.headers in
+  let aligns = List.map snd t.headers in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let line cells =
+    String.concat "  "
+      (List.map2 (fun (w, a) c -> pad a w c) (List.combine widths aligns) cells)
+  in
+  let buf = Buffer.create 256 in
+  (match t.caption with
+  | Some c ->
+      Buffer.add_string buf c;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf (line headers);
+  Buffer.add_char buf '\n';
+  let rule_width =
+    List.fold_left ( + ) 0 widths + (2 * (List.length widths - 1))
+  in
+  Buffer.add_string buf (String.make rule_width '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

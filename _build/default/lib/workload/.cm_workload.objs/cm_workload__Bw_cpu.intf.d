@@ -1,0 +1,1 @@
+lib/workload/bw_cpu.mli:

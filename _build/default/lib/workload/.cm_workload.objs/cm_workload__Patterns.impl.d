@@ -1,0 +1,1 @@
+lib/workload/patterns.ml: Array Cm_tag Float List Printf

@@ -1,0 +1,1 @@
+lib/workload/patterns.mli: Cm_tag

@@ -1,0 +1,1 @@
+lib/workload/pool.ml: Array Cm_tag Cm_util Float List Patterns Printf

@@ -1,0 +1,1 @@
+lib/workload/pool.mli: Cm_tag

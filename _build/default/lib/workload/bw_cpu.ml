@@ -1,0 +1,45 @@
+type kind = Batch | Interactive
+
+type workload = {
+  workload_name : string;
+  kind : kind;
+  lo : float;
+  hi : float;
+}
+
+type datacenter = {
+  dc_name : string;
+  server : float;
+  tor : float;
+  agg : float;
+}
+
+(* Reconstructed from the benchmark reports cited for Fig. 1(a)
+   ([19]-[24] in the paper) and the figure's log-scale positions. *)
+let workloads =
+  [|
+    { workload_name = "Redis"; kind = Interactive; lo = 250.; hi = 3500. };
+    { workload_name = "VoltDB"; kind = Interactive; lo = 150.; hi = 2200. };
+    { workload_name = "Vyatta"; kind = Interactive; lo = 900.; hi = 8000. };
+    { workload_name = "Ally-DPI"; kind = Interactive; lo = 300.; hi = 900. };
+    { workload_name = "HTTP-streaming"; kind = Interactive; lo = 250.; hi = 1200. };
+    { workload_name = "Wikipedia"; kind = Interactive; lo = 90.; hi = 400. };
+    { workload_name = "Web-ecommerce"; kind = Interactive; lo = 60.; hi = 300. };
+    { workload_name = "Cassandra"; kind = Interactive; lo = 180.; hi = 800. };
+    { workload_name = "Hadoop"; kind = Batch; lo = 25.; hi = 120. };
+    { workload_name = "Hive"; kind = Batch; lo = 30.; hi = 160. };
+  |]
+
+(* Fig. 1(b): two production clouds, the Facebook datacenter of [2,25]
+   (4:1 rack oversubscription on top of a 40:1 legacy design), and the
+   synthetic topology simulated in [4,18].  Server-level ratios assume
+   10 GbE NICs over ~2x12-core 2.5 GHz hosts. *)
+let datacenters =
+  [|
+    { dc_name = "cloud-A"; server = 800.; tor = 220.; agg = 35. };
+    { dc_name = "cloud-B"; server = 450.; tor = 140.; agg = 20. };
+    { dc_name = "facebook"; server = 170.; tor = 42.; agg = 4.5 };
+    { dc_name = "oktopus-sim"; server = 1000.; tor = 100.; agg = 25. };
+  |]
+
+let kind_to_string = function Batch -> "batch" | Interactive -> "interactive"

@@ -1,0 +1,36 @@
+(** The bandwidth-to-CPU ratio dataset behind Fig. 1.
+
+    The paper plots, on a log scale, the Mbps-per-GHz ratio of ten cloud
+    workloads (batch vs interactive) against the provisioned ratio of four
+    datacenter environments at server / ToR / aggregation levels.  The
+    exact numbers are not tabulated in the paper; the values here are
+    reconstructed from the cited benchmark reports and the figure's log
+    scale, preserving the orderings the paper argues from: interactive
+    workloads have BW:CPU comparable to or higher than batch jobs, and
+    oversubscribed datacenters fall short of both at ToR/aggregation
+    levels. *)
+
+type kind = Batch | Interactive
+
+type workload = {
+  workload_name : string;
+  kind : kind;
+  lo : float;  (** Mbps per GHz, low end of the demand range. *)
+  hi : float;  (** High end. *)
+}
+
+type datacenter = {
+  dc_name : string;
+  server : float;  (** Provisioned Mbps per GHz at server level. *)
+  tor : float;  (** At ToR uplink level. *)
+  agg : float;  (** At aggregation uplink level. *)
+}
+
+val workloads : workload array
+(** The ten workloads of Fig. 1(a), Redis through Cassandra plus the
+    Hadoop/Hive batch jobs. *)
+
+val datacenters : datacenter array
+(** The four datacenter environments of Fig. 1(b). *)
+
+val kind_to_string : kind -> string

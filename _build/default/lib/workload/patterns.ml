@@ -1,0 +1,81 @@
+module Tag = Cm_tag.Tag
+
+let components_of sizes =
+  Array.to_list (Array.mapi (fun i s -> (Printf.sprintf "t%d" i, s)) sizes)
+
+(* Balanced bidirectional trunk: the smaller tier sends/receives at
+   [intensity] per VM; the larger tier's per-VM rates shrink by the size
+   ratio so that total send = total receive in each direction. *)
+let balanced_edges ~sizes ~u ~v ~intensity =
+  let nu = float_of_int sizes.(u) and nv = float_of_int sizes.(v) in
+  let small = Float.min nu nv in
+  let rate_u = intensity *. small /. nu and rate_v = intensity *. small /. nv in
+  [ (u, v, rate_u, rate_v); (v, u, rate_v, rate_u) ]
+
+let check_lengths name sizes intensities expected =
+  if Array.length intensities <> expected then
+    invalid_arg
+      (Printf.sprintf "Patterns.%s: expected %d intensities, got %d" name
+         expected (Array.length intensities));
+  if Array.length sizes = 0 then
+    invalid_arg (Printf.sprintf "Patterns.%s: no tiers" name)
+
+let linear ~name ~sizes ~intensities =
+  check_lengths "linear" sizes intensities (Array.length sizes - 1);
+  let edges =
+    List.concat
+      (List.init
+         (Array.length sizes - 1)
+         (fun i ->
+           balanced_edges ~sizes ~u:i ~v:(i + 1) ~intensity:intensities.(i)))
+  in
+  Tag.create ~name ~components:(components_of sizes) ~edges ()
+
+let star ~name ~sizes ~intensities =
+  check_lengths "star" sizes intensities (Array.length sizes - 1);
+  let edges =
+    List.concat
+      (List.init
+         (Array.length sizes - 1)
+         (fun i ->
+           balanced_edges ~sizes ~u:0 ~v:(i + 1) ~intensity:intensities.(i)))
+  in
+  Tag.create ~name ~components:(components_of sizes) ~edges ()
+
+let ring ~name ~sizes ~intensities =
+  let n = Array.length sizes in
+  if n < 3 then invalid_arg "Patterns.ring: needs >= 3 tiers";
+  check_lengths "ring" sizes intensities n;
+  let edges =
+    List.concat
+      (List.init n (fun i ->
+           balanced_edges ~sizes ~u:i ~v:((i + 1) mod n)
+             ~intensity:intensities.(i)))
+  in
+  Tag.create ~name ~components:(components_of sizes) ~edges ()
+
+let mesh ~name ~sizes ~intensity =
+  let n = Array.length sizes in
+  if n < 2 then invalid_arg "Patterns.mesh: needs >= 2 tiers";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := balanced_edges ~sizes ~u ~v ~intensity @ !edges
+    done
+  done;
+  Tag.create ~name ~components:(components_of sizes) ~edges:!edges ()
+
+let tiered ~name ~sizes ~intensities ~db_self =
+  check_lengths "tiered" sizes intensities (Array.length sizes - 1);
+  let last = Array.length sizes - 1 in
+  let edges =
+    List.concat
+      (List.init last (fun i ->
+           balanced_edges ~sizes ~u:i ~v:(i + 1) ~intensity:intensities.(i)))
+    @ (if db_self > 0. && sizes.(last) > 1 then
+         [ (last, last, db_self, db_self) ]
+       else [])
+  in
+  Tag.create ~name ~components:(components_of sizes) ~edges ()
+
+let batch ~name ~size ~bw = Tag.hose ~name ~tier:"worker" ~size ~bw ()

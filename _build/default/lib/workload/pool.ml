@@ -1,0 +1,209 @@
+module Tag = Cm_tag.Tag
+module Rng = Cm_util.Rng
+
+type t = { pool_name : string; tags : Tag.t array }
+
+(* Split [size] VMs into at most [n_parts] tiers, each >= 1 VM, with
+   exponentially-weighted random proportions. *)
+let partition rng size n_parts =
+  let n = max 1 (min n_parts size) in
+  let weights = Array.init n (fun _ -> 0.2 +. Rng.exponential rng ~rate:1.) in
+  let total_w = Array.fold_left ( +. ) 0. weights in
+  let parts =
+    Array.map
+      (fun w ->
+        max 1 (int_of_float (float_of_int size *. w /. total_w)))
+      weights
+  in
+  let sum () = Array.fold_left ( + ) 0 parts in
+  while sum () < size do
+    let i = Rng.int rng n in
+    parts.(i) <- parts.(i) + 1
+  done;
+  while sum () > size do
+    let i = Rng.int rng n in
+    if parts.(i) > 1 then parts.(i) <- parts.(i) - 1
+  done;
+  parts
+
+let intensity rng = Rng.log_normal rng ~mu:0. ~sigma:0.9
+
+let pick_tier_count rng size =
+  if size <= 2 then 1
+  else
+    let base = Float.of_int size ** 0.45 in
+    let t = base *. Rng.range_float rng ~lo:0.6 ~hi:1.4 in
+    max 2 (min 12 (int_of_float t))
+
+type shape = Linear | Star | Ring | Mesh | Tiered | Batch
+
+let shape_weights =
+  [|
+    (Linear, 0.18);
+    (Star, 0.18);
+    (Ring, 0.10);
+    (Mesh, 0.14);
+    (Tiered, 0.22);
+    (Batch, 0.18);
+  |]
+
+let make_tenant rng ~name ~size =
+  let shape = Rng.pick_weighted rng shape_weights in
+  let shape = if size <= 2 then Batch else shape in
+  match shape with
+  | Batch ->
+      Patterns.batch ~name ~size ~bw:(2. *. intensity rng)
+  | _ -> begin
+      let n_tiers = pick_tier_count rng size in
+      let n_tiers = if shape = Ring then max 3 n_tiers else n_tiers in
+      let sizes = partition rng size n_tiers in
+      let n = Array.length sizes in
+      if n < 2 then
+        Patterns.batch ~name ~size ~bw:(2. *. intensity rng)
+      else if n < 3 && shape = Ring then
+        Patterns.linear ~name ~sizes
+          ~intensities:(Array.init (n - 1) (fun _ -> intensity rng))
+      else
+        match shape with
+        | Linear ->
+            Patterns.linear ~name ~sizes
+              ~intensities:(Array.init (n - 1) (fun _ -> intensity rng))
+        | Star ->
+            Patterns.star ~name ~sizes
+              ~intensities:(Array.init (n - 1) (fun _ -> intensity rng))
+        | Ring ->
+            Patterns.ring ~name ~sizes
+              ~intensities:(Array.init n (fun _ -> intensity rng))
+        | Mesh -> Patterns.mesh ~name ~sizes ~intensity:(intensity rng)
+        | Tiered ->
+            Patterns.tiered ~name ~sizes
+              ~intensities:(Array.init (n - 1) (fun _ -> intensity rng))
+              ~db_self:(intensity rng *. Rng.range_float rng ~lo:0.5 ~hi:2.)
+        | Batch -> assert false
+    end
+
+(* Draw a tenant size; the first few tenants get the paper's named large
+   sizes (732 max, a few above 200), the rest follow a heavy-tailed
+   log-normal with overall mean ~57. *)
+let bing_size rng index =
+  match index with
+  | 0 -> 732
+  | 1 -> 283
+  | 2 -> 214
+  | _ ->
+      let s = Rng.log_normal rng ~mu:3.3 ~sigma:1.05 in
+      max 1 (min 400 (int_of_float s))
+
+let bing_like ?(n = 80) ~seed () =
+  let rng = Rng.create seed in
+  let tags =
+    Array.init n (fun i ->
+        let size = bing_size rng i in
+        make_tenant rng ~name:(Printf.sprintf "bing-%02d" i) ~size)
+  in
+  { pool_name = "bing-like"; tags }
+
+let hpcloud_like ?(n = 40) ~seed () =
+  let rng = Rng.create (seed + 0x5eed) in
+  let tags =
+    Array.init n (fun i ->
+        let size =
+          max 2 (min 60 (int_of_float (Rng.log_normal rng ~mu:2.2 ~sigma:0.8)))
+        in
+        let n_tiers = max 2 (min 6 (pick_tier_count rng size)) in
+        let sizes = partition rng size n_tiers in
+        let name = Printf.sprintf "hpc-%02d" i in
+        let m = Array.length sizes in
+        if m < 2 then Patterns.batch ~name ~size ~bw:(intensity rng)
+        else if Rng.bool rng then
+          Patterns.linear ~name ~sizes
+            ~intensities:(Array.init (m - 1) (fun _ -> intensity rng))
+        else
+          Patterns.star ~name ~sizes
+            ~intensities:(Array.init (m - 1) (fun _ -> intensity rng)))
+  in
+  { pool_name = "hpcloud-like"; tags }
+
+let synthetic ?(n = 60) ~seed () =
+  let rng = Rng.create (seed + 0xfade) in
+  let tags =
+    Array.init n (fun i ->
+        let name = Printf.sprintf "syn-%02d" i in
+        if i mod 2 = 0 then begin
+          (* Three-tier web service. *)
+          let size = 6 + Rng.int rng 55 in
+          let sizes = partition rng size 3 in
+          if Array.length sizes < 3 then
+            Patterns.batch ~name ~size ~bw:(intensity rng)
+          else
+            Patterns.tiered ~name ~sizes
+              ~intensities:[| 2. *. intensity rng; intensity rng |]
+              ~db_self:(intensity rng)
+        end
+        else
+          Patterns.batch ~name
+            ~size:(5 + Rng.int rng 96)
+            ~bw:(2. *. intensity rng))
+  in
+  { pool_name = "synthetic"; tags }
+
+let mean_size t =
+  Cm_util.Stats.mean
+    (Array.map (fun tag -> float_of_int (Tag.total_vms tag)) t.tags)
+
+let max_size t =
+  Array.fold_left (fun acc tag -> max acc (Tag.total_vms tag)) 0 t.tags
+
+let max_mean_vm_demand t =
+  Array.fold_left
+    (fun acc tag -> Float.max acc (Tag.mean_vm_demand tag))
+    0. t.tags
+
+let inter_component_fraction tag =
+  let trunk, total =
+    Array.fold_left
+      (fun (trunk, total) (e : Tag.edge) ->
+        let b = Tag.b_total tag e in
+        if e.src <> e.dst then (trunk +. b, total +. b) else (trunk, total +. b))
+      (0., 0.) (Tag.edges tag)
+  in
+  if total = 0. then 0. else trunk /. total
+
+let mean_inter_component_fraction t =
+  Cm_util.Stats.mean (Array.map inter_component_fraction t.tags)
+
+let per_component_inter_fraction tag =
+  Array.init (Tag.n_components tag) (fun c ->
+      let incident =
+        List.sort_uniq compare (Tag.out_edges tag c @ Tag.in_edges tag c)
+      in
+      let inter, total =
+        List.fold_left
+          (fun (inter, total) (e : Tag.edge) ->
+            let b = Tag.b_total tag e in
+            if e.src <> e.dst then (inter +. b, total +. b)
+            else (inter, total +. b))
+          (0., 0.) incident
+      in
+      if total = 0. then 0. else inter /. total)
+
+let mean_per_component_inter_fraction t =
+  let samples = ref [] in
+  Array.iter
+    (fun tag ->
+      Array.iteri
+        (fun c f ->
+          let has_traffic =
+            Tag.per_vm_send tag c > 0. || Tag.per_vm_recv tag c > 0.
+          in
+          if has_traffic then samples := f :: !samples)
+        (per_component_inter_fraction tag))
+    t.tags;
+  Cm_util.Stats.mean (Array.of_list !samples)
+
+let scale_to_bmax t ~bmax =
+  let top = max_mean_vm_demand t in
+  if top <= 0. then t
+  else
+    let factor = bmax /. top in
+    { t with tags = Array.map (fun tag -> Tag.scale_bw tag factor) t.tags }

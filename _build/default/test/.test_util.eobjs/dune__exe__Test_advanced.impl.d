@@ -1,0 +1,1 @@
+test/test_advanced.ml: Alcotest Cm_placement Cm_tag Cm_topology Cm_util Printf

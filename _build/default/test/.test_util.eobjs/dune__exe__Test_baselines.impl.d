@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Cm_placement Cm_sim Cm_tag Cm_topology Float List Option Printf QCheck QCheck_alcotest

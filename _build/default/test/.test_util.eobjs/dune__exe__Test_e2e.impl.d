@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Array Cm_e2e Cm_placement Cm_tag Cm_topology Cm_util List Printf

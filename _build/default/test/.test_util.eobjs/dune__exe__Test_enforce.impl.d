@@ -1,0 +1,1 @@
+test/test_enforce.ml: Alcotest Array Cm_enforce Cm_tag Float Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Cm_experiments Cm_util Printf String

@@ -1,0 +1,1 @@
+test/test_inference.ml: Alcotest Array Cm_inference Cm_tag Cm_util Float Fun Gen List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Array Cm_placement Cm_sim Cm_tag Cm_topology Float Fun Hashtbl List Option Printf QCheck QCheck_alcotest

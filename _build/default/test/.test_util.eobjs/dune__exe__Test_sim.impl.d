@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cm_placement Cm_sim Cm_tag Cm_topology Cm_util Cm_workload Float List Printf

@@ -1,0 +1,1 @@
+test/test_tag.ml: Alcotest Array Cm_tag Cm_util Float Fun Gen List Option Printf QCheck QCheck_alcotest Result String

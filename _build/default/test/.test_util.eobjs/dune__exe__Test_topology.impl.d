@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Cm_placement Cm_tag Cm_topology List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cm_util Float Fun List Option QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Cm_tag Cm_workload Float List Printf QCheck QCheck_alcotest

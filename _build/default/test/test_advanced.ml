@@ -1,0 +1,246 @@
+(* Tests for the advanced placement facilities: the exhaustive optimal
+   oracle, the defragmentation pass, and the ledger reapply primitive
+   they rely on. *)
+
+module Tree = Cm_topology.Tree
+module Reservation = Cm_topology.Reservation
+module Tag = Cm_tag.Tag
+module Bandwidth = Cm_tag.Bandwidth
+module Types = Cm_placement.Types
+module Cm = Cm_placement.Cm
+module Optimal = Cm_placement.Optimal
+module Defrag = Cm_placement.Defrag
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let micro_spec =
+  {
+    Tree.degrees = [ 2; 2 ];
+    slots_per_server = 3;
+    server_up_mbps = 100.;
+    oversub = [ 2. ];
+  }
+
+let total_reserved tree =
+  let acc = ref 0. in
+  for l = 0 to Tree.n_levels tree - 1 do
+    let up, down = Tree.reserved_at_level tree ~level:l in
+    acc := !acc +. up +. down
+  done;
+  !acc
+
+(* {1 Reservation.reapply} *)
+
+let test_reapply_exact_inverse () =
+  let tree = Tree.create micro_spec in
+  let txn = Reservation.start tree in
+  ignore (Reservation.take_slots txn ~server:0 2 : bool);
+  ignore (Reservation.reserve_bw txn ~node:0 ~up:30. ~down:10. : bool);
+  ignore (Reservation.return_slots txn ~server:0 1 : bool);
+  let committed = Reservation.commit txn in
+  let slots = Tree.free_slots tree 0 and up = Tree.reserved_up tree 0 in
+  Reservation.release tree committed;
+  Reservation.reapply tree committed;
+  Alcotest.(check int) "slots restored" slots (Tree.free_slots tree 0);
+  check_float "bw restored" up (Tree.reserved_up tree 0)
+
+(* {1 Optimal oracle} *)
+
+let test_optimal_finds_trivial () =
+  let tree = Tree.create micro_spec in
+  let tag = Tag.hose ~tier:"t" ~size:3 ~bw:10. () in
+  match Optimal.feasible tree tag with
+  | None -> Alcotest.fail "trivial instance must be feasible"
+  | Some locations ->
+      Alcotest.(check int) "all vms" 3 (Types.vm_count locations)
+
+let test_optimal_detects_infeasible () =
+  let tree = Tree.create micro_spec in
+  (* 5 VMs at 60 Mbps hose: a server with k VMs crosses min(k, 5-k)*60,
+     which exceeds the 100 Mbps NIC unless k = 1 — and there are only 4
+     servers. *)
+  let tag = Tag.hose ~tier:"t" ~size:5 ~bw:60. () in
+  Alcotest.(check bool) "infeasible" true (Optimal.feasible tree tag = None);
+  (* The 3+1 split keeps 4 VMs at 90 Mbps feasible (min(3,1)*90 = 90). *)
+  let tag2 = Tag.hose ~tier:"t" ~size:4 ~bw:90. () in
+  Alcotest.(check bool) "3+1 split found" true (Optimal.feasible tree tag2 <> None)
+
+let test_optimal_respects_existing_load () =
+  let tree = Tree.create micro_spec in
+  (* Occupy most slots. *)
+  Tree.unchecked_take_slots tree ~server:0 3;
+  Tree.unchecked_take_slots tree ~server:1 3;
+  Tree.unchecked_take_slots tree ~server:2 3;
+  let tag = Tag.hose ~tier:"t" ~size:4 ~bw:1. () in
+  (* Only 3 free slots remain. *)
+  Alcotest.(check bool) "no room" true (Optimal.feasible tree tag = None)
+
+let test_optimal_guardrail () =
+  let big =
+    Tree.create
+      {
+        Tree.degrees = [ 8; 8 ];
+        slots_per_server = 25;
+        server_up_mbps = 1e6;
+        oversub = [ 1. ];
+      }
+  in
+  let tag = Tag.hose ~tier:"t" ~size:30 ~bw:1. () in
+  Alcotest.check_raises "guardrail" (Invalid_argument "")
+    (fun () ->
+      try ignore (Optimal.feasible big tag)
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let test_optimal_leaves_tree_untouched () =
+  let tree = Tree.create micro_spec in
+  let tag = Tag.hose ~tier:"t" ~size:5 ~bw:20. () in
+  ignore (Optimal.feasible tree tag);
+  check_float "no reservations" 0. (total_reserved tree);
+  Alcotest.(check int) "no slots" (Tree.total_slots tree)
+    (Tree.free_slots_subtree tree (Tree.root tree))
+
+(* CM never accepts an instance the oracle proves infeasible, and on
+   this micro space it accepts most instances the oracle can place. *)
+let test_cm_sound_vs_oracle () =
+  let rng = Cm_util.Rng.create 3 in
+  let cm_only = ref 0 and oracle_only = ref 0 and n_feasible = ref 0 in
+  for _ = 1 to 120 do
+    let size = 2 + Cm_util.Rng.int rng 6 in
+    let bw = 5. +. Cm_util.Rng.float rng 80. in
+    let tag = Tag.hose ~tier:"t" ~size ~bw () in
+    let tree = Tree.create micro_spec in
+    let oracle = Optimal.feasible tree tag <> None in
+    let sched = Cm.create tree in
+    let cm =
+      match Cm.place sched (Types.request tag) with
+      | Ok _ -> true
+      | Error _ -> false
+    in
+    if oracle then incr n_feasible;
+    if cm && not oracle then incr cm_only;
+    if oracle && not cm then incr oracle_only
+  done;
+  Alcotest.(check int) "CM is sound (never beats the oracle)" 0 !cm_only;
+  (* The heuristic may miss some feasible instances, but not most. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "CM finds most feasible (%d missed of %d)" !oracle_only
+       !n_feasible)
+    true
+    (!oracle_only * 4 <= !n_feasible)
+
+(* {1 Defragmentation} *)
+
+let fragmented_scenario () =
+  (* Fillers occupy rack 1; the victim (a heavy pair) is forced to span
+     racks; fillers depart, leaving a fragmented layout. *)
+  let tree = Tree.create micro_spec in
+  let sched = Cm.create tree in
+  let filler =
+    Tag.create ~name:"filler" ~components:[ ("f", 4) ] ~edges:[] ()
+  in
+  let f1 =
+    match Cm.place sched (Types.request filler) with
+    | Ok p -> p
+    | Error _ -> Alcotest.fail "filler rejected"
+  in
+  let victim =
+    Tag.create ~name:"victim"
+      ~components:[ ("u", 3); ("v", 3) ]
+      ~edges:[ (0, 1, 30., 30.); (1, 0, 30., 30.) ]
+      ()
+  in
+  let vp =
+    match Cm.place sched (Types.request victim) with
+    | Ok p -> p
+    | Error _ -> Alcotest.fail "victim rejected"
+  in
+  Cm.release sched f1;
+  (tree, sched, vp)
+
+let test_defrag_improves_fragmented () =
+  let tree, sched, vp = fragmented_scenario () in
+  let before = Defrag.switch_level_cost tree in
+  let updated, kept = Defrag.run sched [ vp ] in
+  let after = Defrag.switch_level_cost tree in
+  if before > 0. then begin
+    Alcotest.(check int) "migration kept" 1 kept;
+    Alcotest.(check bool)
+      (Printf.sprintf "cost %.0f -> %.0f" before after)
+      true (after < before)
+  end;
+  (* Whatever happened, the tenant is intact and exact. *)
+  match updated with
+  | [ p ] ->
+      Alcotest.(check int) "still 6 VMs" 6 (Types.vm_count p.locations);
+      Cm.release sched p;
+      check_float "clean release" 0. (total_reserved tree)
+  | _ -> Alcotest.fail "one placement expected"
+
+let test_defrag_noop_when_already_good () =
+  let tree = Tree.create micro_spec in
+  let sched = Cm.create tree in
+  let tag =
+    Tag.create ~name:"tight" ~components:[ ("u", 2); ("v", 2) ]
+      ~edges:[ (0, 1, 20., 20.) ]
+      ()
+  in
+  let p =
+    match Cm.place sched (Types.request tag) with
+    | Ok p -> p
+    | Error _ -> Alcotest.fail "rejected"
+  in
+  let before = Defrag.switch_level_cost tree in
+  let updated, kept = Defrag.run sched [ p ] in
+  Alcotest.(check int) "no migration" 0 kept;
+  check_float "cost unchanged" before (Defrag.switch_level_cost tree);
+  match updated with
+  | [ p' ] ->
+      Alcotest.(check bool) "same placement value" true (p' == p);
+      Cm.release sched p'
+  | _ -> Alcotest.fail "one placement expected"
+
+let test_defrag_restores_on_non_improvement () =
+  (* After a failed migration attempt the original reservations are
+     reinstalled exactly (release still works and zeroes the tree). *)
+  let tree = Tree.create micro_spec in
+  let sched = Cm.create tree in
+  let tag = Tag.hose ~tier:"t" ~size:4 ~bw:10. () in
+  let p =
+    match Cm.place sched (Types.request tag) with
+    | Ok p -> p
+    | Error _ -> Alcotest.fail "rejected"
+  in
+  let p', kept = Defrag.migrate_once sched p in
+  ignore kept;
+  Cm.release sched p';
+  check_float "exact zero" 0. (total_reserved tree);
+  Alcotest.(check int) "slots back" (Tree.total_slots tree)
+    (Tree.free_slots_subtree tree (Tree.root tree))
+
+let () =
+  Alcotest.run "cm_advanced"
+    [
+      ( "reapply",
+        [ Alcotest.test_case "exact inverse" `Quick test_reapply_exact_inverse ] );
+      ( "optimal",
+        [
+          Alcotest.test_case "finds trivial" `Quick test_optimal_finds_trivial;
+          Alcotest.test_case "detects infeasible" `Quick
+            test_optimal_detects_infeasible;
+          Alcotest.test_case "respects existing load" `Quick
+            test_optimal_respects_existing_load;
+          Alcotest.test_case "guardrail" `Quick test_optimal_guardrail;
+          Alcotest.test_case "leaves tree untouched" `Quick
+            test_optimal_leaves_tree_untouched;
+          Alcotest.test_case "CM sound vs oracle" `Slow test_cm_sound_vs_oracle;
+        ] );
+      ( "defrag",
+        [
+          Alcotest.test_case "improves fragmented" `Quick
+            test_defrag_improves_fragmented;
+          Alcotest.test_case "noop when good" `Quick
+            test_defrag_noop_when_already_good;
+          Alcotest.test_case "restores on failure" `Quick
+            test_defrag_restores_on_non_improvement;
+        ] );
+    ]

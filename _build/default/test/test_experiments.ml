@@ -1,0 +1,165 @@
+(* Smoke and shape tests for the experiment harness: every experiment
+   must run at reduced scale and exhibit the paper's qualitative result.
+   These double as integration tests across all libraries. *)
+
+module E = Cm_experiments.Experiments
+module Table = Cm_util.Table
+
+let small = { E.seed = 3; arrivals = 250; bmax = 800.; load = 0.9 }
+
+let rendered t = Table.render t
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let test_fig1 () =
+  match E.fig1 () with
+  | [ a; b ] ->
+      Alcotest.(check bool) "workloads table" true
+        (contains (rendered a) "Redis");
+      Alcotest.(check bool) "datacenters table" true
+        (contains (rendered b) "facebook")
+  | _ -> Alcotest.fail "expected two tables"
+
+let test_fig2 () =
+  let s = rendered (E.fig2 ()) in
+  (* The db link row must show hose waste of 240 Mbps. *)
+  Alcotest.(check bool) "waste shown" true (contains s "240.0")
+
+let test_fig3 () =
+  let s = rendered (E.fig3 ()) in
+  Alcotest.(check bool) "TAG 1000" true (contains s "1000.0");
+  Alcotest.(check bool) "VOC 2000" true (contains s "2000.0")
+
+let test_fig4 () =
+  let s = rendered (E.fig4 ()) in
+  Alcotest.(check bool) "hose misses" true (contains s "NO");
+  Alcotest.(check bool) "tag meets" true (contains s "yes")
+
+let test_fig6 () =
+  let s = rendered (E.fig6 ()) in
+  Alcotest.(check bool) "not rejected" false (contains s "rejected");
+  Alcotest.(check bool) "four servers" true (contains s "server 3")
+
+let test_table1 () =
+  let s = rendered (E.table1 ~seed:3 ~bmax:800.) in
+  Alcotest.(check bool) "has CM+TAG" true (contains s "CM+TAG");
+  Alcotest.(check bool) "has OVOC ratios" true (contains s "OVOC")
+
+let test_fig7_shape () =
+  let t = E.fig7 small ~loads:[ 0.5 ] ~bmaxes:[ 400.; 1200. ] in
+  Alcotest.(check bool) "renders" true (String.length (rendered t) > 0)
+
+let test_fig8_runs () =
+  let t = E.fig8 small ~loads:[ 0.3; 0.9 ] in
+  Alcotest.(check bool) "renders" true (String.length (rendered t) > 0)
+
+let test_fig9_runs () =
+  let t = E.fig9 small ~ratios:[ 32; 128 ] in
+  Alcotest.(check bool) "renders" true (String.length (rendered t) > 0)
+
+let test_fig10_runs () =
+  let t = E.fig10 small in
+  let s = rendered t in
+  Alcotest.(check bool) "has all variants" true
+    (contains s "Coloc+Balance" && contains s "OVOC")
+
+let test_fig11_runs () =
+  let t = E.fig11 small ~rwcs_list:[ 0.5 ] in
+  Alcotest.(check bool) "renders" true (String.length (rendered t) > 0)
+
+let test_fig12_runs () =
+  let t = E.fig12 small ~bmaxes:[ 800. ] in
+  Alcotest.(check bool) "renders" true (String.length (rendered t) > 0)
+
+let test_fig13 () =
+  let s = rendered (E.fig13 ()) in
+  (* TAG keeps X->Z at 467 with 5 senders; hose drops it to 167. *)
+  Alcotest.(check bool) "tag value" true (contains s "467");
+  Alcotest.(check bool) "hose value" true (contains s "167")
+
+let test_ami_summary () =
+  let _, summary = E.ami ~seed:3 ~n:12 ~max_vms:120 () in
+  Alcotest.(check bool) "some tenants" true (summary.n_tenants > 5);
+  Alcotest.(check bool)
+    (Printf.sprintf "mean ami %.2f in (0.2, 1]" summary.mean_ami)
+    true
+    (summary.mean_ami > 0.2 && summary.mean_ami <= 1.)
+
+let test_runtime_probe () =
+  let t = E.runtime_probe ~seed:3 ~sizes:[ 25 ] in
+  Alcotest.(check bool) "renders" true (String.length (rendered t) > 0)
+
+let test_workloads () =
+  match E.table1_all_workloads ~seed:3 ~bmax:600. with
+  | [ hpc; syn ] ->
+      Alcotest.(check bool) "hpcloud named" true
+        (contains (rendered hpc) "hpcloud");
+      Alcotest.(check bool) "synthetic named" true
+        (contains (rendered syn) "synthetic")
+  | _ -> Alcotest.fail "expected two tables"
+
+let test_replicates () =
+  let t = E.replicates { small with arrivals = 150 } ~seeds:[ 1; 2 ] in
+  Alcotest.(check bool) "has summary row" true
+    (contains (rendered t) "mean+-sd")
+
+let test_e2e_experiment () =
+  let t = E.end_to_end ~seed:3 ~bmax:800. in
+  let s = rendered t in
+  Alcotest.(check bool) "all three modes" true
+    (contains s "none" && contains s "hose" && contains s "TAG")
+
+let test_profiles_experiment () =
+  let t = E.profiles ~seed:3 in
+  Alcotest.(check bool) "renders savings" true (contains (rendered t) "%")
+
+let test_ami_sensitivity () =
+  let t = E.ami_sensitivity ~seed:3 ~n:6 () in
+  let s = rendered t in
+  Alcotest.(check bool) "sweeps present" true
+    (contains s "imbalance" && contains s "noise" && contains s "resolution")
+
+let test_fig10_includes_vc () =
+  let t = E.fig10 { small with arrivals = 120 } in
+  Alcotest.(check bool) "OVC row" true (contains (rendered t) "OVC")
+
+let () =
+  Alcotest.run "cm_experiments"
+    [
+      ( "motivation",
+        [
+          Alcotest.test_case "fig1" `Quick test_fig1;
+          Alcotest.test_case "fig2" `Quick test_fig2;
+          Alcotest.test_case "fig3" `Quick test_fig3;
+          Alcotest.test_case "fig4" `Quick test_fig4;
+          Alcotest.test_case "fig6" `Quick test_fig6;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "table1" `Quick test_table1;
+          Alcotest.test_case "fig7" `Slow test_fig7_shape;
+          Alcotest.test_case "fig8" `Slow test_fig8_runs;
+          Alcotest.test_case "fig9" `Slow test_fig9_runs;
+          Alcotest.test_case "fig10" `Slow test_fig10_runs;
+          Alcotest.test_case "fig11" `Slow test_fig11_runs;
+          Alcotest.test_case "fig12" `Slow test_fig12_runs;
+        ] );
+      ( "enforcement-and-inference",
+        [
+          Alcotest.test_case "fig13" `Quick test_fig13;
+          Alcotest.test_case "ami" `Slow test_ami_summary;
+          Alcotest.test_case "runtime probe" `Quick test_runtime_probe;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "workloads" `Slow test_workloads;
+          Alcotest.test_case "replicates" `Slow test_replicates;
+          Alcotest.test_case "e2e" `Slow test_e2e_experiment;
+          Alcotest.test_case "profiles" `Quick test_profiles_experiment;
+          Alcotest.test_case "ami sensitivity" `Slow test_ami_sensitivity;
+          Alcotest.test_case "fig10 includes VC" `Slow test_fig10_includes_vc;
+        ] );
+    ]

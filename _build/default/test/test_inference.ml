@@ -1,0 +1,439 @@
+(* Tests for Cm_inference: traffic-matrix generation, similarity,
+   Louvain community detection, adjusted mutual information, and the
+   end-to-end TAG inference pipeline. *)
+
+module Tag = Cm_tag.Tag
+module Rng = Cm_util.Rng
+module Tm = Cm_inference.Traffic_matrix
+module Similarity = Cm_inference.Similarity
+module Louvain = Cm_inference.Louvain
+module Ami = Cm_inference.Ami
+module Infer = Cm_inference.Infer
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* {1 Traffic matrices} *)
+
+let test_tm_shape () =
+  let rng = Rng.create 1 in
+  let tag = Cm_tag.Examples.storm ~s:3 ~b:10. in
+  let tm = Tm.generate ~epochs:4 ~rng tag in
+  Alcotest.(check int) "vms" 12 tm.n_vms;
+  Alcotest.(check int) "epochs" 4 (Array.length tm.epochs);
+  Alcotest.(check int) "truth labels" 12 (Array.length tm.truth);
+  Array.iter
+    (fun epoch ->
+      Array.iteri
+        (fun i row ->
+          check_float "zero diagonal" 0. row.(i);
+          Array.iter
+            (fun v -> Alcotest.(check bool) "nonneg" true (v >= 0.))
+            row)
+        epoch)
+    tm.epochs
+
+let test_tm_respects_structure () =
+  (* Without noise, traffic only flows on TAG edges. *)
+  let rng = Rng.create 2 in
+  let tag = Cm_tag.Examples.storm ~s:3 ~b:10. in
+  let tm = Tm.generate ~noise_prob:0. ~rng tag in
+  let m = Tm.mean_matrix tm in
+  let has_edge a b =
+    Tag.find_edge tag ~src:tm.truth.(a) ~dst:tm.truth.(b) <> None
+  in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v ->
+          if v > 0. then
+            Alcotest.(check bool)
+              (Printf.sprintf "traffic %d->%d follows an edge" i j)
+              true (has_edge i j))
+        row)
+    m
+
+let test_tm_total_volume () =
+  (* Unit-mean wobble: expected epoch volume equals the TAG aggregate. *)
+  let rng = Rng.create 3 in
+  let tag = Tag.hose ~tier:"w" ~size:8 ~bw:100. () in
+  let tm = Tm.generate ~epochs:40 ~imbalance:0.4 ~noise_prob:0. ~rng tag in
+  let m = Tm.mean_matrix tm in
+  let total = Array.fold_left (fun a r -> a +. Array.fold_left ( +. ) 0. r) 0. m in
+  let expected = Tag.aggregate_bandwidth tag in
+  Alcotest.(check bool)
+    (Printf.sprintf "volume %.0f within 25%% of %.0f" total expected)
+    true
+    (Float.abs (total -. expected) /. expected < 0.25)
+
+(* {1 Similarity} *)
+
+let test_cosine_basics () =
+  check_float "parallel" 1. (Similarity.cosine [| 1.; 2. |] [| 2.; 4. |]);
+  check_float "orthogonal" 0. (Similarity.cosine [| 1.; 0. |] [| 0.; 1. |]);
+  check_float "zero vector" 0. (Similarity.cosine [| 0.; 0. |] [| 1.; 1. |])
+
+let test_angular_similarity_range () =
+  check_float "parallel" 1.
+    (Similarity.angular_similarity [| 1.; 1. |] [| 2.; 2. |]);
+  check_float "orthogonal" 0.
+    (Similarity.angular_similarity [| 1.; 0. |] [| 0.; 1. |])
+
+let test_feature_vectors () =
+  let m = [| [| 0.; 5. |]; [| 7.; 0. |] |] in
+  let f = Similarity.feature_vectors m in
+  Alcotest.(check (array (float 1e-9))) "vm0 = row0 ++ col0" [| 0.; 5.; 0.; 7. |] f.(0);
+  Alcotest.(check (array (float 1e-9))) "vm1 = row1 ++ col1" [| 7.; 0.; 5.; 0. |] f.(1)
+
+let test_projection_symmetric () =
+  let rng = Rng.create 4 in
+  let tag = Cm_tag.Examples.storm ~s:3 ~b:10. in
+  let tm = Tm.generate ~rng tag in
+  let g = Similarity.projection_graph (Tm.mean_matrix tm) in
+  Array.iteri
+    (fun i row ->
+      check_float "zero diagonal" 0. row.(i);
+      Array.iteri
+        (fun j v -> check_float "symmetric" v g.(j).(i))
+        row)
+    g
+
+(* {1 Louvain} *)
+
+let two_cliques n =
+  (* Two n-cliques joined by one weak edge. *)
+  let size = 2 * n in
+  let g = Array.make_matrix size size 0. in
+  for i = 0 to size - 1 do
+    for j = 0 to size - 1 do
+      if i <> j && i / n = j / n then g.(i).(j) <- 1.
+    done
+  done;
+  g.(0).(n) <- 0.01;
+  g.(n).(0) <- 0.01;
+  g
+
+let test_louvain_two_cliques () =
+  let labels = Louvain.cluster (two_cliques 6) in
+  Alcotest.(check int) "two communities" 2 (1 + Array.fold_left max 0 labels);
+  for i = 1 to 5 do
+    Alcotest.(check int) "clique 1 together" labels.(0) labels.(i)
+  done;
+  for i = 7 to 11 do
+    Alcotest.(check int) "clique 2 together" labels.(6) labels.(i)
+  done;
+  Alcotest.(check bool) "cliques separated" true (labels.(0) <> labels.(6))
+
+let test_louvain_improves_modularity () =
+  let g = two_cliques 5 in
+  let labels = Louvain.cluster g in
+  let trivial = Array.make 10 0 in
+  Alcotest.(check bool) "better than one blob" true
+    (Louvain.modularity g labels > Louvain.modularity g trivial)
+
+let test_louvain_resolution () =
+  let g = two_cliques 5 in
+  (* Low resolution merges everything; default separates the cliques. *)
+  let coarse = Louvain.cluster ~resolution:0.0001 g in
+  Alcotest.(check int) "gamma near 0 merges" 1 (1 + Array.fold_left max 0 coarse);
+  let normal = Louvain.cluster g in
+  Alcotest.(check int) "gamma=1 splits" 2 (1 + Array.fold_left max 0 normal);
+  (* Very high resolution shatters the cliques further. *)
+  let fine = Louvain.cluster ~resolution:20. g in
+  Alcotest.(check bool) "gamma=20 shatters" true
+    (1 + Array.fold_left max 0 fine > 2)
+
+let test_louvain_empty_graph () =
+  let g = Array.make_matrix 4 4 0. in
+  let labels = Louvain.cluster g in
+  Alcotest.(check int) "labels length" 4 (Array.length labels)
+
+let test_modularity_perfect_split () =
+  let g = two_cliques 4 in
+  let labels = Array.init 8 (fun i -> i / 4) in
+  Alcotest.(check bool) "positive modularity" true
+    (Louvain.modularity g labels > 0.3)
+
+(* {1 AMI} *)
+
+let test_ami_identical () =
+  let a = [| 0; 0; 1; 1; 2; 2 |] in
+  check_float "identical = 1" 1. (Ami.ami a a)
+
+let test_ami_permuted_labels () =
+  let a = [| 0; 0; 1; 1; 2; 2 |] and b = [| 2; 2; 0; 0; 1; 1 |] in
+  check_float "label names irrelevant" 1. (Ami.ami a b)
+
+let test_ami_independent_low () =
+  (* A clustering unrelated to the truth scores near 0. *)
+  let a = Array.init 40 (fun i -> i mod 2) in
+  let b = Array.init 40 (fun i -> if i < 20 then 0 else 1) in
+  let v = Ami.ami a b in
+  Alcotest.(check bool) (Printf.sprintf "ami %.2f near 0" v) true
+    (Float.abs v < 0.25)
+
+let test_ami_single_cluster_edge () =
+  let a = Array.make 10 0 in
+  check_float "both trivial" 1. (Ami.ami a a)
+
+let test_entropy () =
+  check_float "uniform 2" (log 2.) (Ami.entropy [| 0; 1; 0; 1 |]);
+  check_float "constant" 0. (Ami.entropy [| 3; 3; 3 |])
+
+let test_mi_bounds () =
+  let a = [| 0; 0; 1; 1 |] and b = [| 0; 1; 0; 1 |] in
+  check_float "independent mi 0" 0. (Ami.mutual_information a b);
+  check_float "identical mi = H" (log 2.) (Ami.mutual_information a a)
+
+let test_expected_mi_between_0_and_mi () =
+  let a = [| 0; 0; 0; 1; 1; 2 |] and b = [| 0; 1; 0; 1; 1; 2 |] in
+  let emi = Ami.expected_mi a b in
+  Alcotest.(check bool) "nonneg" true (emi >= 0.);
+  Alcotest.(check bool) "below max entropy" true (emi <= Ami.entropy a +. 1e-9)
+
+(* {1 End-to-end inference} *)
+
+let test_infer_three_tier () =
+  (* Tiers with distinct peer sets must be recovered substantially better
+     than chance; the paper itself reports AMI ~0.54 on real traces. *)
+  let rng = Rng.create 5 in
+  let tag = Cm_tag.Examples.three_tier ~n_web:6 ~n_logic:6 ~n_db:6 ~b1:100. ~b2:40. ~b3:10. () in
+  let tm = Tm.generate ~imbalance:0.3 ~noise_prob:0.005 ~rng tag in
+  let r = Infer.infer tm in
+  Alcotest.(check bool)
+    (Printf.sprintf "ami %.2f >= 0.45" r.ami_vs_truth)
+    true (r.ami_vs_truth >= 0.45)
+
+let test_infer_reconstructs_guarantees () =
+  (* With perfect labels, reconstructed trunk totals track the truth. *)
+  let rng = Rng.create 6 in
+  let tag = Cm_tag.Examples.three_tier ~b1:100. ~b2:40. ~b3:10. () in
+  let tm = Tm.generate ~imbalance:0.2 ~noise_prob:0. ~rng tag in
+  let rebuilt = Infer.guarantees_of_labels tm tm.truth in
+  Alcotest.(check int) "components" 3 (Tag.n_components rebuilt);
+  (* Peak-of-aggregate >= mean, and within a modest factor of the truth. *)
+  let truth_total = Tag.aggregate_bandwidth tag in
+  let rebuilt_total = Tag.aggregate_bandwidth rebuilt in
+  Alcotest.(check bool)
+    (Printf.sprintf "total %.0f within 2x of %.0f" rebuilt_total truth_total)
+    true
+    (rebuilt_total > truth_total /. 2. && rebuilt_total < truth_total *. 2.)
+
+let test_infer_statistical_multiplexing () =
+  (* The TAG guarantee derived from peak-of-aggregate must not exceed the
+     sum of per-pair peaks (the pipe model's worst case). *)
+  let rng = Rng.create 7 in
+  let tag = Cm_tag.Examples.fig5 ~n1:5 ~n2:5 ~b1:50. ~b2:50. ~b2_in:20. in
+  let tm = Tm.generate ~imbalance:1.0 ~noise_prob:0. ~rng tag in
+  let rebuilt = Infer.guarantees_of_labels tm tm.truth in
+  let sum_pair_peaks =
+    let n = tm.n_vms in
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let peak = ref 0. in
+        Array.iter (fun e -> peak := Float.max !peak e.(i).(j)) tm.epochs;
+        acc := !acc +. !peak
+      done
+    done;
+    !acc
+  in
+  Alcotest.(check bool) "peak-of-sum <= sum-of-peaks" true
+    (Tag.aggregate_bandwidth rebuilt <= sum_pair_peaks +. 1e-6)
+
+let test_infer_deterministic () =
+  let mk () =
+    let rng = Rng.create 8 in
+    let tag = Cm_tag.Examples.storm ~s:4 ~b:10. in
+    Infer.infer (Tm.generate ~rng tag)
+  in
+  let a = mk () and b = mk () in
+  Alcotest.(check (array int)) "same labels" a.labels b.labels;
+  check_float "same ami" a.ami_vs_truth b.ami_vs_truth
+
+(* {1 CSV interchange} *)
+
+let test_csv_roundtrip () =
+  let rng = Rng.create 9 in
+  let tag = Cm_tag.Examples.storm ~s:3 ~b:10. in
+  let tm = Tm.generate ~epochs:3 ~rng tag in
+  match Tm.of_csv (Tm.to_csv tm) with
+  | Error m -> Alcotest.failf "re-parse failed: %s" m
+  | Ok tm2 ->
+      Alcotest.(check int) "vms" tm.n_vms tm2.n_vms;
+      Alcotest.(check int) "epochs" (Array.length tm.epochs)
+        (Array.length tm2.epochs);
+      Array.iteri
+        (fun e m ->
+          Array.iteri
+            (fun i row ->
+              Array.iteri
+                (fun j v ->
+                  Alcotest.(check (float 1e-5))
+                    (Printf.sprintf "cell %d %d %d" e i j)
+                    v
+                    tm2.epochs.(e).(i).(j))
+                row)
+            m)
+        tm.epochs
+
+let test_csv_errors () =
+  (match Tm.of_csv "epoch,src,dst,rate\n0,1,notanint,5\n" with
+  | Error m ->
+      Alcotest.(check bool) "line number" true
+        (String.length m > 0 && String.sub m 0 4 = "line")
+  | Ok _ -> Alcotest.fail "expected error");
+  (match Tm.of_csv "epoch,src,dst,rate\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "no cells must error");
+  match Tm.of_csv "epoch,src,dst,rate\n0,0,1,-4\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative rate must error"
+
+let test_csv_infer_pipeline () =
+  (* Imported matrices run through inference (truth unknown). *)
+  let rng = Rng.create 10 in
+  let tag = Cm_tag.Examples.three_tier ~b1:50. ~b2:20. ~b3:10. () in
+  let tm = Tm.generate ~rng tag in
+  match Tm.of_csv (Tm.to_csv tm) with
+  | Error m -> Alcotest.failf "%s" m
+  | Ok imported ->
+      let r = Infer.infer imported in
+      Alcotest.(check bool) "clusters found" true (r.n_components >= 1);
+      Alcotest.(check bool) "tag rebuilt" true
+        (Tag.total_vms r.inferred = imported.n_vms)
+
+(* {1 Prediction} *)
+
+module Predict = Cm_inference.Predict
+
+let test_predict_basics () =
+  let w = [| 10.; 20.; 30.; 40. |] in
+  check_float "peak" 40. (Predict.predict Predict.Peak w);
+  check_float "median" 25. (Predict.predict (Predict.Quantile 0.5) w);
+  check_float "headroom" 30. (Predict.predict (Predict.Headroom 0.2) w)
+
+let test_predict_validation () =
+  let expect f =
+    Alcotest.check_raises "rejected" (Invalid_argument "")
+      (fun () ->
+        try ignore (f ()) with Invalid_argument _ -> raise (Invalid_argument ""))
+  in
+  expect (fun () -> Predict.predict Predict.Peak [||]);
+  expect (fun () -> Predict.predict (Predict.Quantile 1.5) [| 1. |]);
+  expect (fun () -> Predict.predict (Predict.Headroom (-0.1)) [| 1. |])
+
+let test_predict_evaluate_tradeoff () =
+  (* Peak never violates; a low quantile violates more but reserves
+     less. *)
+  let rng = Rng.create 11 in
+  let tag = Tag.hose ~tier:"w" ~size:6 ~bw:100. () in
+  let tm = Tm.generate ~epochs:30 ~imbalance:0.6 ~rng tag in
+  let peak = Predict.evaluate Predict.Peak ~window:6 tm in
+  let q50 = Predict.evaluate (Predict.Quantile 0.5) ~window:6 tm in
+  Alcotest.(check bool) "epochs evaluated" true (peak.n_evaluated = 24);
+  Alcotest.(check bool) "median violates more" true
+    (q50.violation_rate >= peak.violation_rate);
+  Alcotest.(check bool) "median reserves less" true
+    (q50.mean_overprovision <= peak.mean_overprovision +. 1e-9)
+
+let test_predict_evaluate_guards () =
+  let rng = Rng.create 12 in
+  let tm = Tm.generate ~epochs:3 ~rng (Tag.hose ~tier:"w" ~size:2 ~bw:1. ()) in
+  Alcotest.check_raises "window too large" (Invalid_argument "")
+    (fun () ->
+      try ignore (Predict.evaluate Predict.Peak ~window:5 tm)
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+(* {1 Properties} *)
+
+let prop_ami_symmetric =
+  QCheck.Test.make ~name:"AMI is symmetric" ~count:100
+    QCheck.(
+      pair
+        (array_of_size (Gen.return 12) (int_range 0 3))
+        (array_of_size (Gen.return 12) (int_range 0 3)))
+    (fun (a, b) -> Float.abs (Ami.ami a b -. Ami.ami b a) < 1e-9)
+
+let prop_ami_bounded =
+  QCheck.Test.make ~name:"AMI within [-1, 1]" ~count:100
+    QCheck.(
+      pair
+        (array_of_size (Gen.return 15) (int_range 0 4))
+        (array_of_size (Gen.return 15) (int_range 0 4)))
+    (fun (a, b) ->
+      let v = Ami.ami a b in
+      v >= -1. && v <= 1.)
+
+let prop_louvain_labels_compact =
+  QCheck.Test.make ~name:"louvain labels are 0..k-1" ~count:50
+    QCheck.(int_range 2 6)
+    (fun n ->
+      let labels = Louvain.cluster (two_cliques n) in
+      let k = 1 + Array.fold_left max 0 labels in
+      let seen = Array.make k false in
+      Array.iter (fun l -> seen.(l) <- true) labels;
+      Array.for_all Fun.id seen)
+
+let () =
+  Alcotest.run "cm_inference"
+    [
+      ( "traffic-matrix",
+        [
+          Alcotest.test_case "shape" `Quick test_tm_shape;
+          Alcotest.test_case "respects structure" `Quick test_tm_respects_structure;
+          Alcotest.test_case "volume" `Quick test_tm_total_volume;
+        ] );
+      ( "similarity",
+        [
+          Alcotest.test_case "cosine" `Quick test_cosine_basics;
+          Alcotest.test_case "angular range" `Quick test_angular_similarity_range;
+          Alcotest.test_case "feature vectors" `Quick test_feature_vectors;
+          Alcotest.test_case "projection symmetric" `Quick test_projection_symmetric;
+        ] );
+      ( "louvain",
+        [
+          Alcotest.test_case "two cliques" `Quick test_louvain_two_cliques;
+          Alcotest.test_case "improves modularity" `Quick
+            test_louvain_improves_modularity;
+          Alcotest.test_case "resolution parameter" `Quick test_louvain_resolution;
+          Alcotest.test_case "empty graph" `Quick test_louvain_empty_graph;
+          Alcotest.test_case "modularity value" `Quick test_modularity_perfect_split;
+        ] );
+      ( "ami",
+        [
+          Alcotest.test_case "identical" `Quick test_ami_identical;
+          Alcotest.test_case "permuted labels" `Quick test_ami_permuted_labels;
+          Alcotest.test_case "independent low" `Quick test_ami_independent_low;
+          Alcotest.test_case "single cluster" `Quick test_ami_single_cluster_edge;
+          Alcotest.test_case "entropy" `Quick test_entropy;
+          Alcotest.test_case "mi bounds" `Quick test_mi_bounds;
+          Alcotest.test_case "expected mi bounds" `Quick
+            test_expected_mi_between_0_and_mi;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "three tier" `Quick test_infer_three_tier;
+          Alcotest.test_case "guarantee reconstruction" `Quick
+            test_infer_reconstructs_guarantees;
+          Alcotest.test_case "statistical multiplexing" `Quick
+            test_infer_statistical_multiplexing;
+          Alcotest.test_case "deterministic" `Quick test_infer_deterministic;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "round trip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "errors" `Quick test_csv_errors;
+          Alcotest.test_case "import to inference" `Quick test_csv_infer_pipeline;
+        ] );
+      ( "prediction",
+        [
+          Alcotest.test_case "basics" `Quick test_predict_basics;
+          Alcotest.test_case "validation" `Quick test_predict_validation;
+          Alcotest.test_case "tradeoff" `Quick test_predict_evaluate_tradeoff;
+          Alcotest.test_case "guards" `Quick test_predict_evaluate_guards;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_ami_symmetric; prop_ami_bounded; prop_louvain_labels_compact ]
+      );
+    ]

@@ -1,0 +1,344 @@
+(* Tests for Cm_sim: the arrival/departure runner, rejection accounting,
+   tree restoration, the Table 1 experiment, and the CM-vs-OVOC ordering
+   the paper's evaluation rests on. *)
+
+module Tree = Cm_topology.Tree
+module Pool = Cm_workload.Pool
+module Driver = Cm_sim.Driver
+module Runner = Cm_sim.Runner
+module Reserved_bw = Cm_sim.Reserved_bw
+
+(* A small datacenter so tests are fast: 64 servers, 8 slots each. *)
+let small_spec =
+  {
+    Tree.degrees = [ 4; 4; 4 ];
+    slots_per_server = 8;
+    server_up_mbps = 1000.;
+    oversub = [ 4.; 8. ];
+  }
+
+let small_pool = Pool.hpcloud_like ~n:20 ~seed:3 ()
+let scaled = Pool.scale_to_bmax small_pool ~bmax:300.
+
+let test_runner_counts_consistent () =
+  let tree = Tree.create small_spec in
+  let cfg = { Runner.default_config with n_arrivals = 300; load = 0.7 } in
+  let r = Runner.run (Driver.cm tree) tree scaled cfg in
+  Alcotest.(check int) "arrivals" 300 r.arrivals;
+  Alcotest.(check int) "accepted + rejected" 300 (r.accepted + r.rejected);
+  Alcotest.(check int) "reject reasons sum" r.rejected
+    (r.rejected_no_slots + r.rejected_no_bw);
+  Alcotest.(check bool) "rejected vms <= offered" true
+    (r.rejected_vms <= r.offered_vms);
+  Alcotest.(check bool) "rejected bw <= offered" true
+    (r.rejected_bw <= r.offered_bw +. 1e-6)
+
+let test_runner_restores_tree () =
+  let tree = Tree.create small_spec in
+  let cfg = { Runner.default_config with n_arrivals = 200; load = 0.8 } in
+  ignore (Runner.run (Driver.cm tree) tree scaled cfg : Runner.result);
+  Alcotest.(check int) "slots restored" (Tree.total_slots tree)
+    (Tree.free_slots_subtree tree (Tree.root tree));
+  for node = 0 to Tree.n_nodes tree - 1 do
+    Alcotest.(check bool) "bw restored" true
+      (Float.abs (Tree.reserved_up tree node) < 1e-3
+      && Float.abs (Tree.reserved_down tree node) < 1e-3)
+  done
+
+let test_runner_deterministic () =
+  let run () =
+    let tree = Tree.create small_spec in
+    let cfg = { Runner.default_config with n_arrivals = 200; load = 0.6 } in
+    Runner.run (Driver.cm tree) tree scaled cfg
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same accepted" a.accepted b.accepted;
+  Alcotest.(check (float 1e-9)) "same rejected bw" a.rejected_bw b.rejected_bw
+
+let test_low_load_accepts_everything () =
+  let tree = Tree.create small_spec in
+  let pool = Pool.scale_to_bmax small_pool ~bmax:50. in
+  let cfg = { Runner.default_config with n_arrivals = 100; load = 0.05 } in
+  let r = Runner.run (Driver.cm tree) tree pool cfg in
+  Alcotest.(check int) "no rejection at trivial load" 0 r.rejected
+
+let test_rejection_grows_with_load () =
+  let at load =
+    let tree = Tree.create small_spec in
+    let cfg = { Runner.default_config with n_arrivals = 500; load } in
+    Runner.bw_rejection_rate (Runner.run (Driver.cm tree) tree scaled cfg)
+  in
+  let lo = at 0.3 and hi = at 1.2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "rejection %.1f%% at 0.3 <= %.1f%% at 1.2" lo hi)
+    true (lo <= hi);
+  Alcotest.(check bool) "overload rejects something" true (hi > 0.)
+
+let test_cm_beats_ovoc () =
+  (* The paper's core result, on a small instance: CM rejects less
+     bandwidth than OVOC under the same workload. *)
+  let rejection make =
+    let tree = Tree.create small_spec in
+    let cfg = { Runner.default_config with n_arrivals = 600; load = 0.8 } in
+    Runner.bw_rejection_rate (Runner.run (make tree) tree scaled cfg)
+  in
+  let cm = rejection Driver.cm in
+  let ovoc = rejection Driver.oktopus in
+  Alcotest.(check bool)
+    (Printf.sprintf "CM %.1f%% <= OVOC %.1f%%" cm ovoc)
+    true (cm <= ovoc)
+
+let test_wcs_reported_for_accepted () =
+  let tree = Tree.create small_spec in
+  let cfg = { Runner.default_config with n_arrivals = 100; load = 0.3 } in
+  let r = Runner.run (Driver.cm tree) tree scaled cfg in
+  Alcotest.(check bool) "some wcs samples" true
+    (Array.length r.wcs_per_component > 0);
+  Array.iter
+    (fun w ->
+      Alcotest.(check bool) "wcs in [0,1]" true (w >= 0. && w <= 1.))
+    r.wcs_per_component
+
+let test_ha_config_improves_wcs () =
+  let run ha =
+    let tree = Tree.create small_spec in
+    let cfg =
+      { Runner.default_config with n_arrivals = 300; load = 0.5; ha }
+    in
+    Runner.mean_wcs (Runner.run (Driver.cm tree) tree scaled cfg)
+  in
+  let base = run None in
+  let guarded = run (Some { Cm_placement.Types.rwcs = 0.5; laa_level = 0 }) in
+  Alcotest.(check bool)
+    (Printf.sprintf "HA wcs %.0f%% >= base %.0f%%" guarded base)
+    true (guarded >= base)
+
+let test_opp_ha_improves_wcs_cheaply () =
+  let run make =
+    let tree = Tree.create small_spec in
+    let cfg = { Runner.default_config with n_arrivals = 300; load = 0.5 } in
+    let r = Runner.run (make tree) tree scaled cfg in
+    (Runner.mean_wcs r, Runner.bw_rejection_rate r)
+  in
+  let base_wcs, _ = run Driver.cm in
+  let opp_wcs, _ =
+    run (fun tree ->
+        Driver.cm
+          ~policy:{ Cm_placement.Cm.default_policy with opportunistic_ha = true }
+          tree)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "oppHA wcs %.0f%% >= default %.0f%%" opp_wcs base_wcs)
+    true (opp_wcs >= base_wcs)
+
+(* {1 Table 1 machinery} *)
+
+let test_reserved_bw_orderings () =
+  let r = Reserved_bw.run small_spec scaled ~seed:5 in
+  Alcotest.(check int) "three rows" 3 (List.length r.rows);
+  Alcotest.(check bool) "deployed something" true (r.tenants_deployed > 0);
+  let find name =
+    (List.find (fun (row : Reserved_bw.row) -> row.combo = name) r.rows)
+      .per_level
+  in
+  let tag = find "CM+TAG" and voc = find "CM+VOC" in
+  (* Same placement, re-priced: VOC >= TAG at every level (footnote 7). *)
+  Array.iteri
+    (fun l v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "voc >= tag at level %d" l)
+        true (v +. 1e-9 >= tag.(l)))
+    voc
+
+let test_account_zero_for_no_placements () =
+  let tree = Tree.create small_spec in
+  let levels =
+    Reserved_bw.account tree [] ~model:Cm_tag.Bandwidth.Tag_model
+  in
+  Array.iter (fun v -> Alcotest.(check (float 1e-9)) "zero" 0. v) levels
+
+let test_account_matches_tree_reservations () =
+  (* CM's live reservations must equal the offline re-pricing under the
+     same (TAG) model. *)
+  let tree = Tree.create small_spec in
+  let sched = Driver.cm tree in
+  let placements =
+    List.filter_map
+      (fun tag ->
+        match sched.Driver.place (Cm_placement.Types.request tag) with
+        | Ok p -> Some p
+        | Error _ -> None)
+      (Array.to_list (Array.sub scaled.Pool.tags 0 10))
+  in
+  let accounted =
+    Reserved_bw.account tree placements ~model:Cm_tag.Bandwidth.Tag_model
+  in
+  for l = 0 to Tree.n_levels tree - 2 do
+    let live_up, _ = Tree.reserved_at_level tree ~level:l in
+    Alcotest.(check (float 0.5))
+      (Printf.sprintf "level %d" l)
+      (live_up /. 1000.) accounted.(l)
+  done
+
+let test_runner_invalid_load () =
+  let tree = Tree.create small_spec in
+  Alcotest.check_raises "load 0" (Invalid_argument "")
+    (fun () ->
+      try
+        ignore
+          (Runner.run (Driver.cm tree) tree scaled
+             { Runner.default_config with load = 0. })
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let test_runner_wcs_level_rack () =
+  (* Measuring WCS at rack level yields lower survivability than at
+     server level for the same run. *)
+  let at level =
+    let tree = Tree.create small_spec in
+    let cfg =
+      {
+        Runner.default_config with
+        n_arrivals = 200;
+        load = 0.5;
+        wcs_level = level;
+      }
+    in
+    Runner.mean_wcs (Runner.run (Driver.cm tree) tree scaled cfg)
+  in
+  Alcotest.(check bool) "rack wcs <= server wcs" true (at 1 <= at 0 +. 1e-9)
+
+let test_runner_vc_scheduler () =
+  (* The OVC baseline runs through the same harness. *)
+  let tree = Tree.create small_spec in
+  let cfg = { Runner.default_config with n_arrivals = 300; load = 0.8 } in
+  let vc = Runner.run (Driver.vc tree) tree scaled cfg in
+  Alcotest.(check int) "counts consistent" 300 (vc.accepted + vc.rejected);
+  (* And rejects at least as much bandwidth as CM. *)
+  let tree2 = Tree.create small_spec in
+  let cm = Runner.run (Driver.cm tree2) tree2 scaled cfg in
+  Alcotest.(check bool)
+    (Printf.sprintf "VC %.1f%% >= CM %.1f%%" (Runner.bw_rejection_rate vc)
+       (Runner.bw_rejection_rate cm))
+    true
+    (Runner.bw_rejection_rate vc +. 1e-9 >= Runner.bw_rejection_rate cm)
+
+(* {1 Failure injection} *)
+
+module Failure = Cm_sim.Failure
+module Tag = Cm_tag.Tag
+module Cm = Cm_placement.Cm
+module Types = Cm_placement.Types
+
+let deploy_some () =
+  let tree = Tree.create small_spec in
+  let sched = Cm.create tree in
+  let tenants =
+    List.filter_map
+      (fun tag ->
+        match Cm.place sched (Types.request tag) with
+        | Ok p -> Some (tag, p.Types.locations)
+        | Error _ -> None)
+      (Array.to_list (Array.sub scaled.Pool.tags 0 8))
+  in
+  (tree, tenants)
+
+let test_failure_exhaustive_matches_wcs () =
+  (* Over an exhaustive sweep, the measured worst survival of every
+     component equals its predicted WCS. *)
+  let tree, tenants = deploy_some () in
+  let r = Failure.exhaustive tree tenants ~laa_level:0 in
+  Alcotest.(check int) "all servers failed" (Tree.n_servers tree)
+    r.domains_failed;
+  List.iter
+    (fun (o : Failure.tenant_outcome) ->
+      Array.iteri
+        (fun c predicted ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "%s comp %d" o.tenant_name c)
+            predicted o.worst_survival.(c))
+        o.predicted_wcs)
+    r.outcomes
+
+let test_failure_random_bounded_by_wcs () =
+  let tree, tenants = deploy_some () in
+  let rng = Cm_util.Rng.create 5 in
+  let r = Failure.random rng tree tenants ~laa_level:0 ~n:20 in
+  List.iter
+    (fun (o : Failure.tenant_outcome) ->
+      Array.iteri
+        (fun c predicted ->
+          Alcotest.(check bool) "sampled >= exhaustive worst" true
+            (o.worst_survival.(c) +. 1e-9 >= predicted);
+          Alcotest.(check bool) "mean >= worst" true
+            (o.mean_survival.(c) +. 1e-9 >= o.worst_survival.(c)))
+        o.predicted_wcs)
+    r.outcomes
+
+let test_failure_rack_level () =
+  (* A tenant packed into one rack has zero rack-level survivability. *)
+  let tree = Tree.create small_spec in
+  let sched = Cm.create tree in
+  let tag = Tag.hose ~tier:"t" ~size:8 ~bw:1. () in
+  match Cm.place sched (Types.request tag) with
+  | Error _ -> Alcotest.fail "placement failed"
+  | Ok p ->
+      let r = Failure.exhaustive tree [ (tag, p.locations) ] ~laa_level:1 in
+      let o = List.hd r.outcomes in
+      Alcotest.(check (float 1e-9)) "rack failure kills all" 0.
+        o.worst_survival.(0)
+
+let test_failure_survival_direct () =
+  let tree = Tree.create small_spec in
+  let tag = Tag.hose ~tier:"t" ~size:4 ~bw:1. () in
+  let servers = Tree.servers tree in
+  let locations = [| [ (servers.(0), 1); (servers.(1), 3) ] |] in
+  let s0 = Failure.survival tree tag locations ~domain:servers.(0) ~laa_level:0 in
+  Alcotest.(check (float 1e-9)) "lose 1 of 4" 0.75 s0.(0);
+  let s1 = Failure.survival tree tag locations ~domain:servers.(1) ~laa_level:0 in
+  Alcotest.(check (float 1e-9)) "lose 3 of 4" 0.25 s1.(0);
+  let s2 = Failure.survival tree tag locations ~domain:servers.(5) ~laa_level:0 in
+  Alcotest.(check (float 1e-9)) "unaffected" 1. s2.(0)
+
+let () =
+  Alcotest.run "cm_sim"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "counts consistent" `Quick
+            test_runner_counts_consistent;
+          Alcotest.test_case "restores tree" `Quick test_runner_restores_tree;
+          Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "low load accepts all" `Quick
+            test_low_load_accepts_everything;
+          Alcotest.test_case "rejection grows with load" `Slow
+            test_rejection_grows_with_load;
+          Alcotest.test_case "wcs samples" `Quick test_wcs_reported_for_accepted;
+          Alcotest.test_case "invalid load" `Quick test_runner_invalid_load;
+          Alcotest.test_case "wcs at rack level" `Slow test_runner_wcs_level_rack;
+          Alcotest.test_case "vc scheduler" `Slow test_runner_vc_scheduler;
+        ] );
+      ( "comparisons",
+        [
+          Alcotest.test_case "CM <= OVOC" `Slow test_cm_beats_ovoc;
+          Alcotest.test_case "HA improves wcs" `Slow test_ha_config_improves_wcs;
+          Alcotest.test_case "oppHA improves wcs" `Slow
+            test_opp_ha_improves_wcs_cheaply;
+        ] );
+      ( "failure-injection",
+        [
+          Alcotest.test_case "exhaustive = predicted WCS" `Quick
+            test_failure_exhaustive_matches_wcs;
+          Alcotest.test_case "random bounded" `Quick
+            test_failure_random_bounded_by_wcs;
+          Alcotest.test_case "rack level" `Quick test_failure_rack_level;
+          Alcotest.test_case "direct survival" `Quick test_failure_survival_direct;
+        ] );
+      ( "table1",
+        [
+          Alcotest.test_case "orderings" `Quick test_reserved_bw_orderings;
+          Alcotest.test_case "empty account" `Quick
+            test_account_zero_for_no_placements;
+          Alcotest.test_case "account matches live" `Quick
+            test_account_matches_tree_reservations;
+        ] );
+    ]

@@ -1,0 +1,303 @@
+(* Tests for Cm_util: deterministic RNG, statistics, priority queue,
+   table rendering. *)
+
+module Rng = Cm_util.Rng
+module Stats = Cm_util.Stats
+module Pqueue = Cm_util.Pqueue
+module Table = Cm_util.Table
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* {1 Rng} *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    Alcotest.(check bool) "in [0,10)" true (x >= 0 && x < 10)
+  done
+
+let test_rng_uniform_bounds () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_rng_uniform_mean () =
+  let rng = Rng.create 9 in
+  let xs = Array.init 20_000 (fun _ -> Rng.uniform rng) in
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (m -. 0.5) < 0.02)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 10 in
+  let child = Rng.split parent in
+  let a = Rng.bits64 child and b = Rng.bits64 parent in
+  Alcotest.(check bool) "split stream differs" true (a <> b)
+
+let test_rng_copy_preserves () =
+  let a = Rng.create 11 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copies aligned" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 12 in
+  let xs = Array.init 50_000 (fun _ -> Rng.exponential rng ~rate:2.) in
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "mean near 1/2" true (Float.abs (m -. 0.5) < 0.02)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 13 in
+  let xs = Array.init 50_000 (fun _ -> Rng.gaussian rng ~mu:3. ~sigma:2.) in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (Stats.mean xs -. 3.) < 0.05);
+  Alcotest.(check bool) "stddev near 2" true (Float.abs (Stats.stddev xs -. 2.) < 0.05)
+
+let test_rng_pick () =
+  let rng = Rng.create 14 in
+  let arr = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    let x = Rng.pick rng arr in
+    Alcotest.(check bool) "element of array" true (List.mem x [ 1; 2; 3 ])
+  done
+
+let test_rng_pick_weighted () =
+  let rng = Rng.create 15 in
+  let arr = [| ("a", 0.); ("b", 1.) |] in
+  for _ = 1 to 100 do
+    Alcotest.(check string) "zero-weight never drawn" "b"
+      (Rng.pick_weighted rng arr)
+  done
+
+let test_rng_pick_weighted_ratio () =
+  let rng = Rng.create 16 in
+  let arr = [| (0, 3.); (1, 1.) |] in
+  let count = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.pick_weighted rng arr = 0 then incr count
+  done;
+  let frac = float_of_int !count /. float_of_int n in
+  Alcotest.(check bool) "3:1 weighting" true (Float.abs (frac -. 0.75) < 0.02)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 17 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+(* {1 Stats} *)
+
+let test_stats_mean () = check_float "mean" 2. (Stats.mean [| 1.; 2.; 3. |])
+let test_stats_mean_empty () = check_float "empty mean" 0. (Stats.mean [||])
+
+let test_stats_stddev () =
+  check_float "stddev" 2. (Stats.stddev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [| 3.; -1.; 7. |] in
+  check_float "min" (-1.) lo;
+  check_float "max" 7. hi
+
+let test_stats_percentile () =
+  let a = [| 1.; 2.; 3.; 4.; 5. |] in
+  check_float "p0" 1. (Stats.percentile a 0.);
+  check_float "p50" 3. (Stats.percentile a 50.);
+  check_float "p100" 5. (Stats.percentile a 100.);
+  check_float "p25" 2. (Stats.percentile a 25.)
+
+let test_stats_percentile_interpolates () =
+  check_float "interp" 1.5 (Stats.percentile [| 1.; 2. |] 50.)
+
+let test_stats_median_unsorted () =
+  check_float "median" 2. (Stats.median [| 3.; 1.; 2. |])
+
+let test_stats_ratio () =
+  check_float "ratio" 0.5 (Stats.ratio 1. 2.);
+  check_float "ratio div0" 0. (Stats.ratio 1. 0.)
+
+let test_stats_histogram () =
+  let h = Stats.histogram [| 0.1; 0.2; 0.9; 1.5; -3. |] ~bins:2 ~lo:0. ~hi:1. in
+  Alcotest.(check (array int)) "hist" [| 3; 2 |] h
+
+let test_stats_cdf () =
+  match Stats.cdf_points [| 2.; 1. |] with
+  | [ (v1, f1); (v2, f2) ] ->
+      check_float "v1" 1. v1;
+      check_float "f1" 0.5 f1;
+      check_float "v2" 2. v2;
+      check_float "f2" 1. f2
+  | _ -> Alcotest.fail "expected two points"
+
+(* {1 Pqueue} *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  Pqueue.push q 3. "c";
+  Pqueue.push q 1. "a";
+  Pqueue.push q 2. "b";
+  let order = List.init 3 (fun _ -> snd (Option.get (Pqueue.pop q))) in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] order
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  Pqueue.push q 1. "first";
+  Pqueue.push q 1. "second";
+  Alcotest.(check string) "tie keeps insertion order" "first"
+    (snd (Option.get (Pqueue.pop q)))
+
+let test_pqueue_empty () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "is_empty" true (Pqueue.is_empty q);
+  Alcotest.(check bool) "pop none" true (Pqueue.pop q = None);
+  Alcotest.(check bool) "peek none" true (Pqueue.peek q = None)
+
+let test_pqueue_peek_keeps () =
+  let q = Pqueue.create () in
+  Pqueue.push q 1. 42;
+  ignore (Pqueue.peek q);
+  Alcotest.(check int) "still there" 1 (Pqueue.length q)
+
+let test_pqueue_interleaved () =
+  let q = Pqueue.create () in
+  Pqueue.push q 5. 5;
+  Pqueue.push q 1. 1;
+  Alcotest.(check int) "pop 1" 1 (snd (Option.get (Pqueue.pop q)));
+  Pqueue.push q 3. 3;
+  Alcotest.(check int) "pop 3" 3 (snd (Option.get (Pqueue.pop q)));
+  Alcotest.(check int) "pop 5" 5 (snd (Option.get (Pqueue.pop q)))
+
+let test_pqueue_qcheck_sorted =
+  QCheck.Test.make ~name:"pqueue pops in priority order" ~count:200
+    QCheck.(list (pair (float_range 0. 1000.) small_int))
+    (fun items ->
+      let q = Pqueue.create () in
+      List.iter (fun (p, v) -> Pqueue.push q p v) items;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      let popped = drain [] in
+      List.sort compare popped = popped)
+
+(* {1 Table} *)
+
+let test_table_render () =
+  let t = Table.create [ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "longer"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0
+    && String.sub s 0 4 = "name");
+  Alcotest.(check bool) "right aligned" true
+    (let lines = String.split_on_char '\n' s in
+     List.exists (fun l -> l = "x           1") lines)
+
+let test_table_float_row () =
+  let t = Table.create [ ("k", Table.Left); ("v", Table.Right) ] in
+  Table.add_float_row t ~dec:2 "pi" [ 3.14159 ];
+  let s = Table.render t in
+  Alcotest.(check bool) "rounded" true
+    (String.length s > 0
+    &&
+    let lines = String.split_on_char '\n' s in
+    List.exists (fun l -> String.trim l = "pi  3.14") lines)
+
+let test_table_pad_short_row () =
+  let t = Table.create [ ("a", Table.Left); ("b", Table.Left) ] in
+  Table.add_row t [ "only" ];
+  Alcotest.(check bool) "renders" true (String.length (Table.render t) > 0)
+
+let test_table_too_many_cells () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  Alcotest.check_raises "too many" (Invalid_argument "")
+    (fun () ->
+      try Table.add_row t [ "x"; "y" ]
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let test_table_caption () =
+  let t = Table.create ~caption:"hello caption" [ ("a", Table.Left) ] in
+  Alcotest.(check bool) "caption first" true
+    (String.length (Table.render t) > 13
+    && String.sub (Table.render t) 0 13 = "hello caption")
+
+let test_pqueue_clear () =
+  let q = Pqueue.create () in
+  Pqueue.push q 1. 1;
+  Pqueue.push q 2. 2;
+  Pqueue.clear q;
+  Alcotest.(check bool) "empty after clear" true (Pqueue.is_empty q);
+  Pqueue.push q 3. 3;
+  Alcotest.(check int) "usable after clear" 3 (snd (Option.get (Pqueue.pop q)))
+
+let () =
+  Alcotest.run "cm_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "uniform bounds" `Quick test_rng_uniform_bounds;
+          Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy preserves state" `Quick test_rng_copy_preserves;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "pick membership" `Quick test_rng_pick;
+          Alcotest.test_case "pick_weighted zero weight" `Quick test_rng_pick_weighted;
+          Alcotest.test_case "pick_weighted ratio" `Quick test_rng_pick_weighted_ratio;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "mean empty" `Quick test_stats_mean_empty;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "min_max" `Quick test_stats_min_max;
+          Alcotest.test_case "percentile anchors" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile interpolation" `Quick
+            test_stats_percentile_interpolates;
+          Alcotest.test_case "median unsorted" `Quick test_stats_median_unsorted;
+          Alcotest.test_case "ratio" `Quick test_stats_ratio;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "cdf points" `Quick test_stats_cdf;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "pop order" `Quick test_pqueue_order;
+          Alcotest.test_case "fifo on ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "empty queue" `Quick test_pqueue_empty;
+          Alcotest.test_case "peek keeps element" `Quick test_pqueue_peek_keeps;
+          Alcotest.test_case "interleaved push/pop" `Quick test_pqueue_interleaved;
+          QCheck_alcotest.to_alcotest test_pqueue_qcheck_sorted;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render alignment" `Quick test_table_render;
+          Alcotest.test_case "float rows" `Quick test_table_float_row;
+          Alcotest.test_case "short rows padded" `Quick test_table_pad_short_row;
+          Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
+          Alcotest.test_case "caption" `Quick test_table_caption;
+          Alcotest.test_case "pqueue clear" `Quick test_pqueue_clear;
+        ] );
+    ]

@@ -1,0 +1,294 @@
+(* Tests for Cm_workload: pattern generators, pool statistics matched to
+   the paper's published bing.com numbers, and Bmax scaling. *)
+
+module Tag = Cm_tag.Tag
+module Patterns = Cm_workload.Patterns
+module Pool = Cm_workload.Pool
+module Bw_cpu = Cm_workload.Bw_cpu
+
+let check_float = Alcotest.(check (float 1e-6))
+
+(* {1 Patterns} *)
+
+let test_linear_shape () =
+  let t =
+    Patterns.linear ~name:"lin" ~sizes:[| 2; 3; 4 |] ~intensities:[| 10.; 20. |]
+  in
+  Alcotest.(check int) "tiers" 3 (Tag.n_components t);
+  (* 2 trunks, both directions. *)
+  Alcotest.(check int) "edges" 4 (Array.length (Tag.edges t));
+  Alcotest.(check bool) "no self loops" true
+    (Array.for_all (fun (e : Tag.edge) -> e.src <> e.dst) (Tag.edges t))
+
+let test_star_shape () =
+  let t =
+    Patterns.star ~name:"star" ~sizes:[| 4; 1; 1; 1 |]
+      ~intensities:[| 1.; 1.; 1. |]
+  in
+  Alcotest.(check int) "edges" 6 (Array.length (Tag.edges t));
+  Array.iter
+    (fun (e : Tag.edge) ->
+      Alcotest.(check bool) "hub incident" true (e.src = 0 || e.dst = 0))
+    (Tag.edges t)
+
+let test_ring_shape () =
+  let t =
+    Patterns.ring ~name:"ring" ~sizes:[| 2; 2; 2 |] ~intensities:[| 1.; 1.; 1. |]
+  in
+  Alcotest.(check int) "edges" 6 (Array.length (Tag.edges t));
+  (* Every tier has exactly two neighbours: out-degree 2 (one per ring
+     direction... each tier sends on 2 trunks). *)
+  for c = 0 to 2 do
+    Alcotest.(check int)
+      (Printf.sprintf "degree of %d" c)
+      2
+      (List.length (Tag.out_edges t c))
+  done
+
+let test_mesh_shape () =
+  let t = Patterns.mesh ~name:"mesh" ~sizes:[| 2; 2; 2; 2 |] ~intensity:1. in
+  (* 4 choose 2 = 6 pairs, both directions. *)
+  Alcotest.(check int) "edges" 12 (Array.length (Tag.edges t))
+
+let test_tiered_self_loop () =
+  let t =
+    Patterns.tiered ~name:"web" ~sizes:[| 4; 4; 4 |] ~intensities:[| 5.; 3. |]
+      ~db_self:2.
+  in
+  Alcotest.(check bool) "db self loop" true (Tag.self_loop t 2 <> None);
+  Alcotest.(check bool) "web no self loop" true (Tag.self_loop t 0 = None)
+
+let test_balanced_edges () =
+  (* Asymmetric tier sizes: totals must match in both directions. *)
+  let t =
+    Patterns.linear ~name:"lin" ~sizes:[| 2; 8 |] ~intensities:[| 10. |]
+  in
+  let e = (Tag.edges t).(0) in
+  check_float "total send = total recv"
+    (e.snd_bw *. float_of_int (Tag.size t e.src))
+    (e.rcv_bw *. float_of_int (Tag.size t e.dst));
+  (* The smaller tier carries the full intensity. *)
+  check_float "small tier rate" 10.
+    (Float.max e.snd_bw e.rcv_bw)
+
+(* {1 Pools} *)
+
+let test_bing_pool_statistics () =
+  let pool = Pool.bing_like ~seed:42 () in
+  Alcotest.(check int) "80 tenants" 80 (Array.length pool.tags);
+  Alcotest.(check int) "largest is 732" 732 (Pool.max_size pool);
+  let mean = Pool.mean_size pool in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean size %.1f within [40, 80]" mean)
+    true
+    (mean >= 40. && mean <= 80.);
+  (* Several tenants above 200 VMs. *)
+  let big =
+    Array.to_list pool.tags
+    |> List.filter (fun t -> Tag.total_vms t > 200)
+    |> List.length
+  in
+  Alcotest.(check bool) ">= 3 large tenants" true (big >= 3)
+
+let test_bing_pool_deterministic () =
+  let a = Pool.bing_like ~seed:5 () and b = Pool.bing_like ~seed:5 () in
+  Array.iteri
+    (fun i tag -> Alcotest.(check bool) "equal" true (Tag.equal tag b.tags.(i)))
+    a.tags
+
+let test_bing_pool_seed_matters () =
+  let a = Pool.bing_like ~seed:5 () and b = Pool.bing_like ~seed:6 () in
+  let same = ref 0 in
+  Array.iteri
+    (fun i tag -> if Tag.equal tag b.tags.(i) then incr same)
+    a.tags;
+  Alcotest.(check bool) "pools differ" true (!same < 40)
+
+let test_bing_inter_component_dominates () =
+  let pool = Pool.bing_like ~seed:42 () in
+  let frac = Pool.mean_inter_component_fraction pool in
+  Alcotest.(check bool)
+    (Printf.sprintf "inter fraction %.2f > 0.5" frac)
+    true (frac > 0.5)
+
+let test_per_component_inter_fraction () =
+  (* Storm: no self-loops, every component fully inter. *)
+  let storm = Patterns.mesh ~name:"m" ~sizes:[| 2; 2 |] ~intensity:10. in
+  Array.iter
+    (fun f -> Alcotest.(check (float 1e-9)) "all inter" 1. f)
+    (Pool.per_component_inter_fraction storm);
+  (* Pure batch: all intra. *)
+  let batch = Patterns.batch ~name:"b" ~size:4 ~bw:10. in
+  Alcotest.(check (float 1e-9)) "all intra" 0.
+    (Pool.per_component_inter_fraction batch).(0);
+  (* Mixed: db has b2 trunk (total 160) and b3 self (120): 4/7. *)
+  let t =
+    Cm_tag.Examples.three_tier ~n_web:4 ~n_logic:4 ~n_db:4 ~b1:10. ~b2:20.
+      ~b3:30. ()
+  in
+  let f = (Pool.per_component_inter_fraction t).(2) in
+  Alcotest.(check (float 1e-9)) "db fraction" (160. /. 280.) f
+
+let test_bing_per_component_inter_high () =
+  (* The paper reports ~91% (85% without management services); the
+     synthetic pool should land in the same regime. *)
+  let pool = Pool.bing_like ~seed:42 () in
+  let f = Pool.mean_per_component_inter_fraction pool in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-component inter fraction %.2f >= 0.7" f)
+    true (f >= 0.7)
+
+let test_hpcloud_pool () =
+  let pool = Pool.hpcloud_like ~seed:1 () in
+  Alcotest.(check int) "40 tenants" 40 (Array.length pool.tags);
+  Alcotest.(check bool) "small tenants" true (Pool.mean_size pool < 25.)
+
+let test_synthetic_pool () =
+  let pool = Pool.synthetic ~seed:1 () in
+  Alcotest.(check int) "60 tenants" 60 (Array.length pool.tags);
+  (* Half the tenants are batch: single component with a self loop. *)
+  let batch =
+    Array.to_list pool.tags
+    |> List.filter (fun t -> Tag.n_components t = 1)
+    |> List.length
+  in
+  Alcotest.(check bool) "batch share" true (batch >= 20 && batch <= 40)
+
+let test_all_pool_tags_valid () =
+  List.iter
+    (fun (pool : Pool.t) ->
+      Array.iter
+        (fun tag ->
+          Alcotest.(check bool) "positive vms" true (Tag.total_vms tag >= 1);
+          Array.iter
+            (fun (e : Tag.edge) ->
+              Alcotest.(check bool) "nonneg bw" true
+                (e.snd_bw >= 0. && e.rcv_bw >= 0.))
+            (Tag.edges tag))
+        pool.tags)
+    [
+      Pool.bing_like ~seed:2 ();
+      Pool.hpcloud_like ~seed:2 ();
+      Pool.synthetic ~seed:2 ();
+    ]
+
+(* {1 Scaling} *)
+
+let test_scale_to_bmax () =
+  let pool = Pool.bing_like ~seed:9 () in
+  let scaled = Pool.scale_to_bmax pool ~bmax:800. in
+  check_float "max demand pinned" 800. (Pool.max_mean_vm_demand scaled);
+  (* Scaling preserves relative demands. *)
+  let r0 =
+    Tag.mean_vm_demand scaled.tags.(0) /. Tag.mean_vm_demand pool.tags.(0)
+  in
+  let r1 =
+    Tag.mean_vm_demand scaled.tags.(1) /. Tag.mean_vm_demand pool.tags.(1)
+  in
+  Alcotest.(check (float 1e-6)) "uniform factor" r0 r1
+
+let test_scale_monotone () =
+  let pool = Pool.bing_like ~seed:9 () in
+  let a = Pool.scale_to_bmax pool ~bmax:400. in
+  let b = Pool.scale_to_bmax pool ~bmax:1200. in
+  Alcotest.(check bool) "3x" true
+    (Float.abs
+       ((Pool.max_mean_vm_demand b /. Pool.max_mean_vm_demand a) -. 3.)
+    < 1e-6)
+
+(* {1 Fig. 1 dataset} *)
+
+let test_bw_cpu_interactive_dominates () =
+  (* The figure's argument: interactive workloads have BW:CPU comparable
+     to or above batch jobs. *)
+  let batch_hi =
+    Array.fold_left
+      (fun acc (w : Bw_cpu.workload) ->
+        if w.kind = Bw_cpu.Batch then Float.max acc w.hi else acc)
+      0. Bw_cpu.workloads
+  in
+  Array.iter
+    (fun (w : Bw_cpu.workload) ->
+      if w.kind = Bw_cpu.Interactive then
+        Alcotest.(check bool)
+          (w.workload_name ^ " reaches batch ceiling")
+          true (w.hi >= batch_hi /. 2.))
+    Bw_cpu.workloads
+
+let test_bw_cpu_oversubscription () =
+  (* Every datacenter provisions less per-GHz bandwidth at higher levels. *)
+  Array.iter
+    (fun (d : Bw_cpu.datacenter) ->
+      Alcotest.(check bool) (d.dc_name ^ " server > tor") true (d.server > d.tor);
+      Alcotest.(check bool) (d.dc_name ^ " tor > agg") true (d.tor > d.agg))
+    Bw_cpu.datacenters
+
+let test_bw_cpu_counts () =
+  Alcotest.(check int) "10 workloads" 10 (Array.length Bw_cpu.workloads);
+  Alcotest.(check int) "4 datacenters" 4 (Array.length Bw_cpu.datacenters)
+
+(* {1 Properties} *)
+
+let prop_pool_sizes_positive =
+  QCheck.Test.make ~name:"pool tenants well-formed for any seed" ~count:20
+    QCheck.small_int (fun seed ->
+      let pool = Pool.bing_like ~n:20 ~seed () in
+      Array.for_all
+        (fun tag ->
+          Tag.total_vms tag >= 1
+          && Tag.aggregate_bandwidth tag >= 0.
+          && Tag.mean_vm_demand tag >= 0.)
+        pool.tags)
+
+let prop_partition_via_patterns =
+  QCheck.Test.make ~name:"scaling by bmax is exact for any bmax" ~count:50
+    QCheck.(float_range 10. 5000.)
+    (fun bmax ->
+      let pool = Pool.bing_like ~n:10 ~seed:3 () in
+      let scaled = Pool.scale_to_bmax pool ~bmax in
+      Float.abs (Pool.max_mean_vm_demand scaled -. bmax) < 1e-6)
+
+let () =
+  Alcotest.run "cm_workload"
+    [
+      ( "patterns",
+        [
+          Alcotest.test_case "linear" `Quick test_linear_shape;
+          Alcotest.test_case "star" `Quick test_star_shape;
+          Alcotest.test_case "ring" `Quick test_ring_shape;
+          Alcotest.test_case "mesh" `Quick test_mesh_shape;
+          Alcotest.test_case "tiered self-loop" `Quick test_tiered_self_loop;
+          Alcotest.test_case "balanced edges" `Quick test_balanced_edges;
+        ] );
+      ( "pools",
+        [
+          Alcotest.test_case "bing statistics" `Quick test_bing_pool_statistics;
+          Alcotest.test_case "bing deterministic" `Quick test_bing_pool_deterministic;
+          Alcotest.test_case "bing seed matters" `Quick test_bing_pool_seed_matters;
+          Alcotest.test_case "inter-component dominates" `Quick
+            test_bing_inter_component_dominates;
+          Alcotest.test_case "per-component fractions" `Quick
+            test_per_component_inter_fraction;
+          Alcotest.test_case "bing per-component inter high" `Quick
+            test_bing_per_component_inter_high;
+          Alcotest.test_case "hpcloud" `Quick test_hpcloud_pool;
+          Alcotest.test_case "synthetic" `Quick test_synthetic_pool;
+          Alcotest.test_case "all tags valid" `Quick test_all_pool_tags_valid;
+        ] );
+      ( "scaling",
+        [
+          Alcotest.test_case "scale to bmax" `Quick test_scale_to_bmax;
+          Alcotest.test_case "scale monotone" `Quick test_scale_monotone;
+        ] );
+      ( "fig1-data",
+        [
+          Alcotest.test_case "interactive dominates" `Quick
+            test_bw_cpu_interactive_dominates;
+          Alcotest.test_case "oversubscription ordering" `Quick
+            test_bw_cpu_oversubscription;
+          Alcotest.test_case "counts" `Quick test_bw_cpu_counts;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_pool_sizes_positive; prop_partition_via_patterns ] );
+    ]
