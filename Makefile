@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-fast examples doc clean
+.PHONY: all build test ci bench bench-fast examples doc clean
 
 all: build
 
@@ -10,13 +10,28 @@ build:
 test:
 	dune runtest
 
-# Full paper-scale reproduction of every table and figure (~15 min).
-bench:
-	dune exec bench/main.exe
+# Mirror of .github/workflows/ci.yml: install dependencies (when opam is
+# available), then build everything and run the test suite from scratch.
+ci:
+	@if command -v opam >/dev/null 2>&1; then \
+	  opam install . --deps-only --with-test --yes; \
+	else \
+	  echo "opam not found; assuming dependencies are already installed"; \
+	fi
+	dune build @all
+	dune runtest
 
-# Same harness at 2000 arrivals per simulated point (~4 min).
+# Full paper-scale reproduction of every table and figure.  Sweeps fan
+# out over all cores; JOBS=N pins the domain count (JOBS=1 = sequential).
+JOBS ?=
+JOBS_FLAG = $(if $(JOBS),--jobs $(JOBS),)
+
+bench:
+	dune exec bench/main.exe -- $(JOBS_FLAG)
+
+# Same harness at 2000 arrivals per simulated point.
 bench-fast:
-	dune exec bench/main.exe -- --fast
+	dune exec bench/main.exe -- --fast $(JOBS_FLAG)
 
 examples:
 	dune exec examples/quickstart.exe

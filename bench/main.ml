@@ -6,27 +6,81 @@
      dune exec bench/main.exe                 -- run everything, paper scale
      dune exec bench/main.exe -- --fast       -- 2000 arrivals per point
      dune exec bench/main.exe -- fig7 table1  -- selected sections only
-     dune exec bench/main.exe -- --arrivals 500 --seed 7 fig8 *)
+     dune exec bench/main.exe -- --arrivals 500 --seed 7 --jobs 4 fig8 *)
 
 module E = Cm_experiments.Experiments
 module Table = Cm_util.Table
+module Par = Cm_util.Par
 
 let requested : string list ref = ref []
 let params = ref E.default_params
 
+let known_sections =
+  [
+    "fig1"; "fig2"; "fig3"; "fig4"; "fig6"; "table1"; "workloads"; "fig7";
+    "fig8"; "fig9"; "fig10"; "replicates"; "fig11"; "fig12"; "fig12-tor";
+    "fig13"; "e2e"; "profiles"; "prediction"; "optimality"; "defrag"; "ami";
+    "ami-sweep"; "runtime-probe"; "runtime";
+  ]
+
+let usage oc =
+  Printf.fprintf oc
+    "usage: main.exe [OPTION]... [SECTION]...\n\n\
+     Options:\n\
+    \  --fast          2000 arrivals per simulated point (default 10000)\n\
+    \  --arrivals N    Poisson arrivals per simulated point\n\
+    \  --seed N        PRNG seed (default 42)\n\
+    \  --jobs N        worker domains for parallel sweeps (default %d,\n\
+    \                  the recommended domain count of this host)\n\
+    \  --help          print this message\n\n\
+     Sections (default: all):\n\
+    \  %s\n"
+    (Par.available_domains ())
+    (String.concat " " known_sections)
+
+let usage_error msg =
+  Printf.eprintf "main.exe: %s\n" msg;
+  usage stderr;
+  exit 2
+
 let parse_args () =
+  let int_value flag rest k =
+    match rest with
+    | v :: rest -> (
+        match int_of_string_opt v with
+        | Some n -> k n rest
+        | None ->
+            usage_error
+              (Printf.sprintf "%s expects an integer value, got %S" flag v))
+    | [] -> usage_error (Printf.sprintf "%s expects an integer value" flag)
+  in
   let rec go = function
     | [] -> ()
     | "--fast" :: rest ->
         params := { !params with arrivals = 2000 };
         go rest
-    | "--arrivals" :: n :: rest ->
-        params := { !params with arrivals = int_of_string n };
-        go rest
-    | "--seed" :: n :: rest ->
-        params := { !params with seed = int_of_string n };
-        go rest
+    | "--arrivals" :: rest ->
+        int_value "--arrivals" rest (fun n rest ->
+            if n < 1 then usage_error "--arrivals must be >= 1";
+            params := { !params with arrivals = n };
+            go rest)
+    | "--seed" :: rest ->
+        int_value "--seed" rest (fun n rest ->
+            params := { !params with seed = n };
+            go rest)
+    | "--jobs" :: rest ->
+        int_value "--jobs" rest (fun n rest ->
+            if n < 1 then usage_error "--jobs must be >= 1";
+            Par.set_default_domains n;
+            go rest)
+    | ("--help" | "-h") :: _ ->
+        usage stdout;
+        exit 0
+    | flag :: _ when String.length flag >= 2 && String.sub flag 0 2 = "--" ->
+        usage_error (Printf.sprintf "unknown option %s" flag)
     | name :: rest ->
+        if not (List.mem name known_sections) then
+          usage_error (Printf.sprintf "unknown section %S" name);
         requested := name :: !requested;
         go rest
   in
@@ -133,8 +187,8 @@ let () =
   let p () = !params in
   Printf.printf
     "CloudMirror benchmark harness (seed %d, %d arrivals per simulated \
-     point)\n"
-    (p ()).seed (p ()).arrivals;
+     point, %d worker domains)\n"
+    (p ()).seed (p ()).arrivals (Par.default_domains ());
   section "fig1" (fun () -> print_tables (E.fig1 ()));
   section "fig2" (fun () -> Table.print (E.fig2 ()));
   section "fig3" (fun () -> Table.print (E.fig3 ()));

@@ -17,6 +17,27 @@ let seed_t =
   let doc = "PRNG seed; every command is deterministic given the seed." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_t =
+  let doc =
+    "Worker domains for parallel sweeps (default: the host's recommended \
+     domain count).  Results are identical for every value."
+  in
+  let jobs_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ -> Error (`Msg "must be >= 1")
+      | None -> Error (`Msg (Printf.sprintf "expected an integer, got %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt jobs_conv (Cm_util.Par.available_domains ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let set_jobs jobs = Cm_util.Par.set_default_domains jobs
+
 let arrivals_t =
   let doc = "Poisson arrivals per simulated point (paper: 10000)." in
   Arg.(value & opt int 2000 & info [ "arrivals" ] ~docv:"N" ~doc)
@@ -40,7 +61,8 @@ let experiment_names =
     "runtime";
   ]
 
-let run_experiment name seed arrivals bmax load =
+let run_experiment name seed arrivals bmax load jobs =
+  set_jobs jobs;
   let p = { E.seed; arrivals; bmax; load } in
   match name with
   | "fig1" -> List.iter Table.print (E.fig1 ()); `Ok ()
@@ -101,7 +123,9 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc)
     Term.(
-      ret (const run_experiment $ name_t $ seed_t $ arrivals_t $ bmax_t $ load_t))
+      ret
+        (const run_experiment $ name_t $ seed_t $ arrivals_t $ bmax_t $ load_t
+       $ jobs_t))
 
 (* {1 pool command} *)
 
@@ -307,7 +331,8 @@ let infer_cmd =
 
 (* {1 simulate command} *)
 
-let run_simulate kind alg seed arrivals bmax load rwcs =
+let run_simulate kind alg seed arrivals bmax load rwcs replicates jobs =
+  set_jobs jobs;
   let pool =
     match kind with
     | `Bing -> Pool.bing_like ~seed ()
@@ -315,16 +340,14 @@ let run_simulate kind alg seed arrivals bmax load rwcs =
     | `Syn -> Pool.synthetic ~seed ()
   in
   let pool = Pool.scale_to_bmax pool ~bmax in
-  let tree = Tree.create_default () in
-  let sched =
+  let make : Cm_sim.Driver.maker =
     match alg with
-    | "cm" -> Cm_sim.Driver.cm tree
+    | "cm" -> Cm_sim.Driver.cm ?policy:None
     | "cm+opp" ->
         Cm_sim.Driver.cm
           ~policy:
             { Cm_placement.Cm.default_policy with opportunistic_ha = true }
-          tree
-    | "ovoc" -> Cm_sim.Driver.oktopus tree
+    | "ovoc" -> Cm_sim.Driver.oktopus
     | other -> invalid_arg (Printf.sprintf "unknown algorithm %S" other)
   in
   let ha = if rwcs > 0. then Some { Types.rwcs; laa_level = 0 } else None in
@@ -337,19 +360,46 @@ let run_simulate kind alg seed arrivals bmax load rwcs =
       ha;
     }
   in
-  let r = Cm_sim.Runner.run sched tree pool cfg in
-  Printf.printf
-    "%s on %s pool: %d arrivals at %.0f%% load (Bmax %.0f)\n\
-    \  accepted %d, rejected %d (%d slots / %d bandwidth)\n\
-    \  rejected %.1f%% of VMs, %.1f%% of bandwidth\n\
-    \  mean slot utilization %.1f%%\n\
-    \  mean server-level WCS of deployed components: %.0f%%\n"
-    sched.sched_name pool.pool_name cfg.n_arrivals (100. *. load) bmax
-    r.accepted r.rejected r.rejected_no_slots r.rejected_no_bw
-    (Cm_sim.Runner.vm_rejection_rate r)
-    (Cm_sim.Runner.bw_rejection_rate r)
-    (100. *. r.mean_utilization)
-    (Cm_sim.Runner.mean_wcs r)
+  let report sched_name (r : Cm_sim.Runner.result) =
+    Printf.printf
+      "%s on %s pool: %d arrivals at %.0f%% load (Bmax %.0f)\n\
+      \  accepted %d, rejected %d (%d slots / %d bandwidth)\n\
+      \  rejected %.1f%% of VMs, %.1f%% of bandwidth\n\
+      \  mean slot utilization %.1f%%\n\
+      \  mean server-level WCS of deployed components: %.0f%%\n"
+      sched_name pool.pool_name cfg.n_arrivals (100. *. load) bmax r.accepted
+      r.rejected r.rejected_no_slots r.rejected_no_bw
+      (Cm_sim.Runner.vm_rejection_rate r)
+      (Cm_sim.Runner.bw_rejection_rate r)
+      (100. *. r.mean_utilization)
+      (Cm_sim.Runner.mean_wcs r)
+  in
+  if replicates <= 1 then begin
+    let tree = Tree.create_default () in
+    let sched = make tree in
+    report sched.sched_name (Cm_sim.Runner.run sched tree pool cfg)
+  end
+  else begin
+    (* Independent replications (arrival stream reseeded, pool fixed),
+       sharded over the domain pool. *)
+    let seeds = List.init replicates (fun i -> seed + i) in
+    let results =
+      Cm_sim.Runner.run_replications make Tree.default_spec pool cfg ~seeds
+    in
+    let sched_name = (make (Tree.create_default ())).sched_name in
+    List.iter2
+      (fun seed r ->
+        Printf.printf "[replicate seed %d]\n" seed;
+        report sched_name r)
+      seeds results;
+    let rates =
+      Array.of_list (List.map Cm_sim.Runner.bw_rejection_rate results)
+    in
+    Printf.printf
+      "rejected bandwidth over %d replicates: %.1f%% +- %.1f%%\n" replicates
+      (Cm_util.Stats.mean rates)
+      (Cm_util.Stats.stddev rates)
+  end
 
 let simulate_cmd =
   let alg_t =
@@ -360,6 +410,14 @@ let simulate_cmd =
     let doc = "Guarantee this WCS for every tenant (0 = none)." in
     Arg.(value & opt float 0. & info [ "rwcs" ] ~docv:"FRACTION" ~doc)
   in
+  let replicates_t =
+    let doc =
+      "Run this many independent replications (seeds SEED, SEED+1, ...) \
+       sharded across worker domains, and report the mean and standard \
+       deviation of the rejected-bandwidth rate."
+    in
+    Arg.(value & opt int 1 & info [ "replicates" ] ~docv:"N" ~doc)
+  in
   let doc =
     "Run a Poisson arrival/departure simulation on the default datacenter \
      and report rejection and survivability statistics."
@@ -367,7 +425,7 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run_simulate $ pool_kind_t $ alg_t $ seed_t $ arrivals_t $ bmax_t
-      $ load_t $ rwcs_t)
+      $ load_t $ rwcs_t $ replicates_t $ jobs_t)
 
 (* {1 scale command} *)
 

@@ -1,6 +1,7 @@
 module Table = Cm_util.Table
 module Stats = Cm_util.Stats
 module Rng = Cm_util.Rng
+module Par = Cm_util.Par
 module Tag = Cm_tag.Tag
 module Bandwidth = Cm_tag.Bandwidth
 module Examples = Cm_tag.Examples
@@ -254,10 +255,14 @@ let table1_for_pool pool ~seed =
 let table1 ~seed ~bmax = table1_for_pool (bing_pool ~seed ~bmax) ~seed
 
 let table1_all_workloads ~seed ~bmax =
-  [
-    table1_for_pool (Pool.scale_to_bmax (Pool.hpcloud_like ~seed ()) ~bmax) ~seed;
-    table1_for_pool (Pool.scale_to_bmax (Pool.synthetic ~seed ()) ~bmax) ~seed;
-  ]
+  (* Pool generation happens inside the worker so each domain builds its
+     own (deterministic) pool. *)
+  Par.map
+    (fun make_pool -> table1_for_pool (Pool.scale_to_bmax (make_pool ()) ~bmax) ~seed)
+    [
+      (fun () -> Pool.hpcloud_like ~seed ());
+      (fun () -> Pool.synthetic ~seed ());
+    ]
 
 let run_sim ?(spec = Tree.default_spec) ?ha ~make p =
   let pool = bing_pool ~seed:p.seed ~bmax:p.bmax in
@@ -291,24 +296,28 @@ let fig7 p ~loads ~bmaxes =
         ("(VM,OVOC)", Table.Right);
       ]
   in
-  List.iter
-    (fun load ->
-      List.iter
-        (fun bmax ->
-          let p = { p with load; bmax } in
-          let cm = run_sim ~make:Driver.cm p in
-          let ovoc = run_sim ~make:Driver.oktopus p in
-          Table.add_row t
-            [
-              Printf.sprintf "%.0f%%" (100. *. load);
-              Printf.sprintf "%.0f" bmax;
-              pct (Runner.bw_rejection_rate cm);
-              pct (Runner.bw_rejection_rate ovoc);
-              pct (Runner.vm_rejection_rate cm);
-              pct (Runner.vm_rejection_rate ovoc);
-            ])
-        bmaxes)
-    loads;
+  let points =
+    List.concat_map (fun load -> List.map (fun bmax -> (load, bmax)) bmaxes)
+      loads
+  in
+  (* Every point reseeds its own pool, tree and arrival stream from [p],
+     so fanning points over the domain pool preserves the sequential
+     output bit-for-bit. *)
+  Par.map
+    (fun (load, bmax) ->
+      let p = { p with load; bmax } in
+      let cm = run_sim ~make:Driver.cm p in
+      let ovoc = run_sim ~make:Driver.oktopus p in
+      [
+        Printf.sprintf "%.0f%%" (100. *. load);
+        Printf.sprintf "%.0f" bmax;
+        pct (Runner.bw_rejection_rate cm);
+        pct (Runner.bw_rejection_rate ovoc);
+        pct (Runner.vm_rejection_rate cm);
+        pct (Runner.vm_rejection_rate ovoc);
+      ])
+    points
+  |> List.iter (Table.add_row t);
   t
 
 let fig8 p ~loads =
@@ -325,20 +334,20 @@ let fig8 p ~loads =
         ("(VM,OVOC)", Table.Right);
       ]
   in
-  List.iter
+  Par.map
     (fun load ->
       let p = { p with load } in
       let cm = run_sim ~make:Driver.cm p in
       let ovoc = run_sim ~make:Driver.oktopus p in
-      Table.add_row t
-        [
-          Printf.sprintf "%.0f%%" (100. *. load);
-          pct (Runner.bw_rejection_rate cm);
-          pct (Runner.bw_rejection_rate ovoc);
-          pct (Runner.vm_rejection_rate cm);
-          pct (Runner.vm_rejection_rate ovoc);
-        ])
-    loads;
+      [
+        Printf.sprintf "%.0f%%" (100. *. load);
+        pct (Runner.bw_rejection_rate cm);
+        pct (Runner.bw_rejection_rate ovoc);
+        pct (Runner.vm_rejection_rate cm);
+        pct (Runner.vm_rejection_rate ovoc);
+      ])
+    loads
+  |> List.iter (Table.add_row t);
   t
 
 let fig9 p ~ratios =
@@ -355,7 +364,7 @@ let fig9 p ~ratios =
         ("OVOC", Table.Right);
       ]
   in
-  List.iter
+  Par.map
     (fun ratio ->
       (* ToR stays at 4x; the aggregation factor supplies the rest. *)
       let spec =
@@ -366,13 +375,13 @@ let fig9 p ~ratios =
       in
       let cm = run_sim ~spec ~make:Driver.cm p in
       let ovoc = run_sim ~spec ~make:Driver.oktopus p in
-      Table.add_row t
-        [
-          Printf.sprintf "%dx" ratio;
-          pct (Runner.bw_rejection_rate cm);
-          pct (Runner.bw_rejection_rate ovoc);
-        ])
-    ratios;
+      [
+        Printf.sprintf "%dx" ratio;
+        pct (Runner.bw_rejection_rate cm);
+        pct (Runner.bw_rejection_rate ovoc);
+      ])
+    ratios
+  |> List.iter (Table.add_row t);
   t
 
 let fig10 p =
@@ -385,27 +394,28 @@ let fig10 p =
            (100. *. p.load) p.bmax)
       [ ("variant", Table.Left); ("rejected BW %", Table.Right) ]
   in
-  let variants =
+  let variants : (string * Driver.maker) list =
     [
-      ("Coloc+Balance", Cm.default_policy);
-      ("Coloc", { Cm.default_policy with balance = false });
-      ("Balance", { Cm.default_policy with colocate = false });
+      ("Coloc+Balance", Driver.cm ~policy:Cm.default_policy);
+      ("Coloc", Driver.cm ~policy:{ Cm.default_policy with balance = false });
+      ("Balance", Driver.cm ~policy:{ Cm.default_policy with colocate = false });
       (* Design-choice ablation: colocate on the Eq. 6 size condition
          alone, without the Eq. 4 savings verification. *)
-      ("no-Eq4-verify", { Cm.default_policy with verify_trunk_savings = false });
+      ( "no-Eq4-verify",
+        Driver.cm
+          ~policy:{ Cm.default_policy with verify_trunk_savings = false } );
+      ("OVOC", Driver.oktopus);
+      (* The homogeneous-VC rendering §5.1 dismisses ("always performed
+         worse than VOC and TAG"). *)
+      ("OVC (hose)", Driver.vc);
     ]
   in
-  List.iter
-    (fun (label, policy) ->
-      let r = run_sim ~make:(Driver.cm ~policy) p in
-      Table.add_row t [ label; pct (Runner.bw_rejection_rate r) ])
-    variants;
-  let ovoc = run_sim ~make:Driver.oktopus p in
-  Table.add_row t [ "OVOC"; pct (Runner.bw_rejection_rate ovoc) ];
-  (* The homogeneous-VC rendering §5.1 dismisses ("always performed
-     worse than VOC and TAG"). *)
-  let ovc = run_sim ~make:Driver.vc p in
-  Table.add_row t [ "OVC (hose)"; pct (Runner.bw_rejection_rate ovc) ];
+  Par.map
+    (fun (label, make) ->
+      let r = run_sim ~make p in
+      [ label; pct (Runner.bw_rejection_rate r) ])
+    variants
+  |> List.iter (Table.add_row t);
   t
 
 let replicates p ~seeds =
@@ -423,21 +433,31 @@ let replicates p ~seeds =
         ("OVOC", Table.Right);
       ]
   in
-  let cm_vals = ref [] and ovoc_vals = ref [] in
+  (* Each replicate reseeds both the workload pool and the arrival
+     sequence, so it shards across domains with no shared state. *)
+  let rows =
+    Par.map
+      (fun seed ->
+        let p = { p with seed } in
+        let cm = Runner.bw_rejection_rate (run_sim ~make:Driver.cm p) in
+        let ovoc = Runner.bw_rejection_rate (run_sim ~make:Driver.oktopus p) in
+        (seed, cm, ovoc))
+      seeds
+  in
   List.iter
-    (fun seed ->
-      let p = { p with seed } in
-      let cm = Runner.bw_rejection_rate (run_sim ~make:Driver.cm p) in
-      let ovoc = Runner.bw_rejection_rate (run_sim ~make:Driver.oktopus p) in
-      cm_vals := cm :: !cm_vals;
-      ovoc_vals := ovoc :: !ovoc_vals;
+    (fun (seed, cm, ovoc) ->
       Table.add_row t [ string_of_int seed; pct cm; pct ovoc ])
-    seeds;
+    rows;
   let summarize vals =
     let arr = Array.of_list vals in
     Printf.sprintf "%.1f +- %.1f" (Stats.mean arr) (Stats.stddev arr)
   in
-  Table.add_row t [ "mean+-sd"; summarize !cm_vals; summarize !ovoc_vals ];
+  Table.add_row t
+    [
+      "mean+-sd";
+      summarize (List.map (fun (_, cm, _) -> cm) rows);
+      summarize (List.map (fun (_, _, ovoc) -> ovoc) rows);
+    ];
   t
 
 let fig11 p ~rwcs_list =
@@ -456,7 +476,7 @@ let fig11 p ~rwcs_list =
         ("OVOC+HA rejBW%", Table.Right);
       ]
   in
-  List.iter
+  Par.map
     (fun rwcs ->
       let ha = { Types.rwcs; laa_level = 0 } in
       let cm = run_sim ~ha ~make:Driver.cm p in
@@ -465,15 +485,15 @@ let fig11 p ~rwcs_list =
         Printf.sprintf "%.0f [%.0f,%.0f]" (Runner.mean_wcs r) (Runner.min_wcs r)
           (Runner.max_wcs r)
       in
-      Table.add_row t
-        [
-          Printf.sprintf "%.0f%%" (100. *. rwcs);
-          wcs_cell cm;
-          wcs_cell ovoc;
-          pct (Runner.bw_rejection_rate cm);
-          pct (Runner.bw_rejection_rate ovoc);
-        ])
-    rwcs_list;
+      [
+        Printf.sprintf "%.0f%%" (100. *. rwcs);
+        wcs_cell cm;
+        wcs_cell ovoc;
+        pct (Runner.bw_rejection_rate cm);
+        pct (Runner.bw_rejection_rate ovoc);
+      ])
+    rwcs_list
+  |> List.iter (Table.add_row t);
   t
 
 let fig12 ?(laa_level = 0) p ~bmaxes =
@@ -494,7 +514,7 @@ let fig12 ?(laa_level = 0) p ~bmaxes =
         ("WCS CM+oppHA", Table.Right);
       ]
   in
-  List.iter
+  Par.map
     (fun bmax ->
       let p = { p with bmax } in
       let cm = run_sim ~make:Driver.cm p in
@@ -507,17 +527,17 @@ let fig12 ?(laa_level = 0) p ~bmaxes =
                ~policy:{ Cm.default_policy with opportunistic_ha = true })
           p
       in
-      Table.add_row t
-        [
-          Printf.sprintf "%.0f" bmax;
-          pct (Runner.bw_rejection_rate cm);
-          pct (Runner.bw_rejection_rate cm_ha);
-          pct (Runner.bw_rejection_rate opp);
-          pct (Runner.mean_wcs cm);
-          pct (Runner.mean_wcs cm_ha);
-          pct (Runner.mean_wcs opp);
-        ])
-    bmaxes;
+      [
+        Printf.sprintf "%.0f" bmax;
+        pct (Runner.bw_rejection_rate cm);
+        pct (Runner.bw_rejection_rate cm_ha);
+        pct (Runner.bw_rejection_rate opp);
+        pct (Runner.mean_wcs cm);
+        pct (Runner.mean_wcs cm_ha);
+        pct (Runner.mean_wcs opp);
+      ])
+    bmaxes
+  |> List.iter (Table.add_row t);
   t
 
 (* {1 Enforcement} *)
@@ -651,36 +671,33 @@ let ami_sensitivity ~seed ?(n = 24) () =
         ("mean AMI", Table.Right);
       ]
   in
-  List.iter
-    (fun imbalance ->
-      Table.add_row t
-        [
-          "imbalance";
-          Printf.sprintf "%.1f" imbalance;
-          Printf.sprintf "%.2f"
-            (mean_ami ~imbalance ~noise_prob:0.05 ~resolution:1.);
-        ])
-    [ 0.2; 0.6; 1.0; 1.5 ];
-  List.iter
-    (fun noise_prob ->
-      Table.add_row t
-        [
-          "noise";
-          Printf.sprintf "%.2f" noise_prob;
-          Printf.sprintf "%.2f"
-            (mean_ami ~imbalance:0.9 ~noise_prob ~resolution:1.);
-        ])
-    [ 0.; 0.05; 0.15; 0.3 ];
-  List.iter
-    (fun resolution ->
-      Table.add_row t
-        [
-          "resolution";
-          Printf.sprintf "%.1f" resolution;
-          Printf.sprintf "%.2f"
-            (mean_ami ~imbalance:0.9 ~noise_prob:0.05 ~resolution);
-        ])
-    [ 0.5; 1.0; 2.0; 4.0 ];
+  (* Each setting reseeds its own traffic RNG and only reads the shared
+     (immutable) pool, so the whole sweep fans out over the domain
+     pool. *)
+  let points =
+    List.map
+      (fun imbalance ->
+        ( "imbalance",
+          Printf.sprintf "%.1f" imbalance,
+          fun () -> mean_ami ~imbalance ~noise_prob:0.05 ~resolution:1. ))
+      [ 0.2; 0.6; 1.0; 1.5 ]
+    @ List.map
+        (fun noise_prob ->
+          ( "noise",
+            Printf.sprintf "%.2f" noise_prob,
+            fun () -> mean_ami ~imbalance:0.9 ~noise_prob ~resolution:1. ))
+        [ 0.; 0.05; 0.15; 0.3 ]
+    @ List.map
+        (fun resolution ->
+          ( "resolution",
+            Printf.sprintf "%.1f" resolution,
+            fun () -> mean_ami ~imbalance:0.9 ~noise_prob:0.05 ~resolution ))
+        [ 0.5; 1.0; 2.0; 4.0 ]
+  in
+  Par.map
+    (fun (sweep, setting, run) -> [ sweep; setting; Printf.sprintf "%.2f" (run ()) ])
+    points
+  |> List.iter (Table.add_row t);
   t
 
 let end_to_end ~seed ~bmax =
@@ -837,8 +854,10 @@ let optimality ~seed ?(instances = 150) () =
         ("unsound", Table.Right);
       ]
   in
-  List.iter
-    (fun (label, kind) ->
+  (* [map_rng] hands each instance kind its own split stream, so the rows
+     run in parallel yet stay reproducible from [seed]. *)
+  Par.map_rng ~rng
+    (fun rng (label, kind) ->
       let feasible = ref 0 and cm_ok = ref 0 and missed = ref 0 and unsound = ref 0 in
       for _ = 1 to instances do
         let tag =
@@ -869,15 +888,15 @@ let optimality ~seed ?(instances = 150) () =
         if oracle && not cm then incr missed;
         if cm && not oracle then incr unsound
       done;
-      Table.add_row t
-        [
-          label;
-          string_of_int !feasible;
-          string_of_int !cm_ok;
-          string_of_int !missed;
-          string_of_int !unsound;
-        ])
-    rows;
+      [
+        label;
+        string_of_int !feasible;
+        string_of_int !cm_ok;
+        string_of_int !missed;
+        string_of_int !unsound;
+      ])
+    rows
+  |> List.iter (Table.add_row t);
   t
 
 let defrag ~seed ?(churn = 1500) () =

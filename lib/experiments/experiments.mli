@@ -5,7 +5,13 @@
 
     Every experiment is deterministic given [seed].  [arrivals] scales
     the Poisson simulations: the paper uses 10,000 arrivals per point;
-    smaller values run faster with the same qualitative shape. *)
+    smaller values run faster with the same qualitative shape.
+
+    Multi-point sweeps (fig7–fig12, replicates, workloads, ami-sweep,
+    optimality) fan their points out over the {!Cm_util.Par} domain pool.
+    Each point derives all of its state — pool, tree, scheduler, RNG —
+    from its own explicit seed, so the rendered tables are bit-identical
+    for every pool size ([--jobs 1] reproduces the sequential run). *)
 
 type sim_params = {
   seed : int;

@@ -11,6 +11,8 @@ type scheduler = {
   release : Cm_placement.Types.placement -> unit;
 }
 
+type maker = Cm_topology.Tree.t -> scheduler
+
 let cm_policy_name (p : Cm.policy) =
   let base =
     match (p.colocate, p.balance) with

@@ -9,6 +9,12 @@ type scheduler = {
   release : Cm_placement.Types.placement -> unit;
 }
 
+type maker = Cm_topology.Tree.t -> scheduler
+(** A scheduler factory.  Replicated and parallel experiments take a
+    [maker] rather than a [scheduler] so that every shard can build its
+    own scheduler over its own tree — schedulers carry mutable
+    reservation state and must never be shared across domains. *)
+
 val cm : ?policy:Cm_placement.Cm.policy -> Cm_topology.Tree.t -> scheduler
 (** CloudMirror (Algorithm 1).  The name reflects the policy: ["CM"],
     ["CM+oppHA"], ["CM-coloc"], ["CM-balance"], ["CM+pipe"]... *)

@@ -144,3 +144,14 @@ let run (sched : Driver.scheduler) tree pool config =
     wcs_per_component = Array.of_list (List.rev !wcs_samples);
     mean_utilization = !util_sum /. float_of_int (max 1 config.n_arrivals);
   }
+
+let run_replications ?domains make spec pool config ~seeds =
+  (* One fresh tree and scheduler per replicate: all simulation state is
+     shard-private, so results are the same for any domain count and
+     identical to mapping [run] over the seeds sequentially. *)
+  Cm_util.Par.map ?domains
+    (fun seed ->
+      let tree = Tree.create spec in
+      let sched = make tree in
+      run sched tree pool { config with seed })
+    seeds

@@ -54,3 +54,19 @@ val max_wcs : result -> float
 val run :
   Driver.scheduler -> Cm_topology.Tree.t -> Cm_workload.Pool.t -> config ->
   result
+
+val run_replications :
+  ?domains:int ->
+  Driver.maker ->
+  Cm_topology.Tree.spec ->
+  Cm_workload.Pool.t ->
+  config ->
+  seeds:int list ->
+  result list
+(** [run_replications make spec pool config ~seeds] runs one independent
+    replication of the simulation per seed, sharded over a
+    {!Cm_util.Par} domain pool ([?domains] defaults to the configured
+    [--jobs] value).  Each replicate builds its own tree from [spec] and
+    its own scheduler with [make]; the shared [pool] is only read.
+    Results come back in seed order and are bit-identical for any domain
+    count. *)

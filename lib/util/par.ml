@@ -1,0 +1,59 @@
+let available_domains () = Domain.recommended_domain_count ()
+
+(* None = never configured, fall back to the hardware count.  A plain ref
+   is enough: the default is only written from the main domain (argument
+   parsing), before any pool is running. *)
+let configured : int option ref = ref None
+
+let set_default_domains n = configured := Some (max 1 n)
+
+let default_domains () =
+  match !configured with Some n -> n | None -> available_domains ()
+
+let mapi ?domains f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let workers = min (match domains with Some d -> max 1 d | None -> default_domains ()) n in
+  if n = 0 then []
+  else if workers <= 1 then List.mapi f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let error : (exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    (* Each worker claims indices from a shared counter until the list is
+       exhausted or some worker failed.  Index [i] is written by exactly
+       one domain; [Domain.join] publishes the writes to the caller. *)
+    let worker () =
+      let rec loop () =
+        if Atomic.get error = None then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (match f i items.(i) with
+            | y -> results.(i) <- Some y
+            | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                ignore (Atomic.compare_and_set error None (Some (e, bt))));
+            loop ()
+          end
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    (match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map (function Some y -> y | None -> assert false) results)
+  end
+
+let map ?domains f xs = mapi ?domains (fun _ x -> f x) xs
+let iter ?domains f xs = ignore (map ?domains f xs)
+
+let map_rng ?domains ~rng f xs =
+  let streams = Rng.split_n rng (List.length xs) in
+  mapi ?domains (fun i x -> f streams.(i) x) xs

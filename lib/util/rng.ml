@@ -14,6 +14,9 @@ let bits64 t =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let split t = { state = bits64 t }
+let split_n t n =
+  assert (n >= 0);
+  Array.init n (fun _ -> split t)
 let copy t = { state = t.state }
 
 let int t bound =

@@ -18,6 +18,14 @@ val split : t -> t
     advancing [t].  Use it to give sub-systems their own streams so that
     adding draws in one place does not perturb another. *)
 
+val split_n : t -> int -> t array
+(** [split_n t n] derives [n] statistically independent generators via
+    seed mixing, advancing [t] once per child.  Child [i] depends only on
+    [t]'s state at the call and on [i], so handing stream [i] to shard
+    [i] of a parallel sweep reproduces the sequential draw-for-draw
+    results regardless of how shards are scheduled (see
+    {!Par.map_rng}). *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)
 

@@ -126,6 +126,28 @@ let test_fig10_includes_vc () =
   let t = E.fig10 { small with arrivals = 120 } in
   Alcotest.(check bool) "OVC row" true (contains (rendered t) "OVC")
 
+(* The determinism contract of the parallel engine: a sweep renders the
+   same table whether it runs on one domain or four. *)
+let with_jobs jobs f =
+  let saved = Cm_util.Par.default_domains () in
+  Cm_util.Par.set_default_domains jobs;
+  Fun.protect ~finally:(fun () -> Cm_util.Par.set_default_domains saved) f
+
+let test_parallel_sweep_identical () =
+  let sweep () =
+    rendered
+      (E.fig7 { small with arrivals = 120 } ~loads:[ 0.5; 0.9 ]
+         ~bmaxes:[ 600.; 1000. ])
+  in
+  let sequential = with_jobs 1 sweep and parallel = with_jobs 4 sweep in
+  Alcotest.(check string) "fig7 identical under --jobs 1 and --jobs 4"
+    sequential parallel
+
+let test_parallel_replicates_identical () =
+  let sweep () = rendered (E.replicates { small with arrivals = 120 } ~seeds:[ 1; 2; 3; 4 ]) in
+  Alcotest.(check string) "replicates identical under --jobs 1 and --jobs 4"
+    (with_jobs 1 sweep) (with_jobs 4 sweep)
+
 let () =
   Alcotest.run "cm_experiments"
     [
@@ -161,5 +183,12 @@ let () =
           Alcotest.test_case "profiles" `Quick test_profiles_experiment;
           Alcotest.test_case "ami sensitivity" `Slow test_ami_sensitivity;
           Alcotest.test_case "fig10 includes VC" `Slow test_fig10_includes_vc;
+        ] );
+      ( "parallel-engine",
+        [
+          Alcotest.test_case "fig7 jobs-invariant" `Quick
+            test_parallel_sweep_identical;
+          Alcotest.test_case "replicates jobs-invariant" `Slow
+            test_parallel_replicates_identical;
         ] );
     ]

@@ -55,6 +55,32 @@ let test_runner_deterministic () =
   Alcotest.(check int) "same accepted" a.accepted b.accepted;
   Alcotest.(check (float 1e-9)) "same rejected bw" a.rejected_bw b.rejected_bw
 
+let test_run_replications_matches_sequential () =
+  let cfg = { Runner.default_config with n_arrivals = 150; load = 0.8 } in
+  let seeds = [ 5; 6; 7; 8 ] in
+  let sequential =
+    List.map
+      (fun seed ->
+        let tree = Tree.create small_spec in
+        Runner.run (Driver.cm tree) tree scaled { cfg with seed })
+      seeds
+  in
+  List.iter
+    (fun domains ->
+      let sharded =
+        Runner.run_replications ~domains Driver.cm small_spec scaled cfg ~seeds
+      in
+      List.iter2
+        (fun (a : Runner.result) (b : Runner.result) ->
+          Alcotest.(check int)
+            (Printf.sprintf "accepted, %d domains" domains)
+            a.accepted b.accepted;
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "rejected bw, %d domains" domains)
+            a.rejected_bw b.rejected_bw)
+        sequential sharded)
+    [ 1; 4 ]
+
 let test_low_load_accepts_everything () =
   let tree = Tree.create small_spec in
   let pool = Pool.scale_to_bmax small_pool ~bmax:50. in
@@ -308,6 +334,8 @@ let () =
             test_runner_counts_consistent;
           Alcotest.test_case "restores tree" `Quick test_runner_restores_tree;
           Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "replications shard deterministically" `Quick
+            test_run_replications_matches_sequential;
           Alcotest.test_case "low load accepts all" `Quick
             test_low_load_accepts_everything;
           Alcotest.test_case "rejection grows with load" `Slow

@@ -1,10 +1,11 @@
 (* Tests for Cm_util: deterministic RNG, statistics, priority queue,
-   table rendering. *)
+   table rendering, and the domain-parallel execution engine. *)
 
 module Rng = Cm_util.Rng
 module Stats = Cm_util.Stats
 module Pqueue = Cm_util.Pqueue
 module Table = Cm_util.Table
+module Par = Cm_util.Par
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -102,6 +103,112 @@ let test_rng_shuffle_permutation () =
   let sorted = Array.copy arr in
   Array.sort compare sorted;
   Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_split_n_reproducible () =
+  let a = Rng.split_n (Rng.create 20) 4 in
+  let b = Rng.split_n (Rng.create 20) 4 in
+  Array.iteri
+    (fun i ai ->
+      for _ = 1 to 50 do
+        Alcotest.(check int64)
+          (Printf.sprintf "stream %d aligned" i)
+          (Rng.bits64 ai) (Rng.bits64 b.(i))
+      done)
+    a
+
+let test_rng_split_n_disjoint () =
+  (* 64-bit outputs of independent splitmix64 streams should never
+     collide over a few thousand draws. *)
+  let streams = Rng.split_n (Rng.create 21) 4 in
+  let seen = Hashtbl.create 4096 in
+  Array.iter
+    (fun s ->
+      for _ = 1 to 1000 do
+        let x = Rng.bits64 s in
+        Alcotest.(check bool) "no cross-stream collision" false
+          (Hashtbl.mem seen x);
+        Hashtbl.add seen x ()
+      done)
+    streams;
+  Alcotest.(check int) "all draws distinct" 4000 (Hashtbl.length seen)
+
+let test_rng_split_n_advances_parent () =
+  let a = Rng.create 22 and b = Rng.create 22 in
+  ignore (Rng.split_n a 3);
+  let differs = ref false in
+  for _ = 1 to 5 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "parent advanced by split_n" true !differs
+
+let test_rng_split_n_empty () =
+  Alcotest.(check int) "zero children" 0 (Array.length (Rng.split_n (Rng.create 23) 0))
+
+(* {1 Par} *)
+
+let test_par_map_matches_sequential () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "order preserved with %d domains" domains)
+        (List.map f xs)
+        (Par.map ~domains f xs))
+    [ 1; 2; 4; 7 ]
+
+let test_par_map_empty_and_single () =
+  Alcotest.(check (list int)) "empty" [] (Par.map ~domains:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Par.map ~domains:4 succ [ 1 ])
+
+let test_par_map_more_domains_than_items () =
+  Alcotest.(check (list int)) "3 items, 16 domains" [ 10; 20; 30 ]
+    (Par.map ~domains:16 (fun x -> 10 * x) [ 1; 2; 3 ])
+
+let test_par_mapi_indices () =
+  Alcotest.(check (list int)) "indices" [ 10; 21; 32 ]
+    (Par.mapi ~domains:3 (fun i x -> (10 * x) + i) [ 1; 2; 3 ])
+
+let test_par_map_propagates_exception () =
+  List.iter
+    (fun domains ->
+      Alcotest.check_raises
+        (Printf.sprintf "worker failure surfaces with %d domains" domains)
+        (Failure "boom")
+        (fun () ->
+          ignore
+            (Par.map ~domains
+               (fun x -> if x = 57 then failwith "boom" else x)
+               (List.init 100 Fun.id))))
+    [ 1; 4 ]
+
+let test_par_default_domains () =
+  let saved = Par.default_domains () in
+  Par.set_default_domains 3;
+  Alcotest.(check int) "set" 3 (Par.default_domains ());
+  Par.set_default_domains 0;
+  Alcotest.(check int) "clamped to 1" 1 (Par.default_domains ());
+  Par.set_default_domains saved;
+  Alcotest.(check bool) "available positive" true (Par.available_domains () >= 1)
+
+let test_par_map_rng_domain_invariant () =
+  (* The per-item streams depend only on the root seed and the item
+     index, so results are identical for any domain count. *)
+  let run domains =
+    Par.map_rng ~domains ~rng:(Rng.create 99)
+      (fun rng x -> (x, Rng.int rng 1_000_000, Rng.uniform rng))
+      (List.init 20 Fun.id)
+  in
+  Alcotest.(check bool) "jobs-invariant" true (run 1 = run 4)
+
+let test_par_map_rng_streams_differ () =
+  let draws =
+    Par.map_rng ~domains:2 ~rng:(Rng.create 100)
+      (fun rng _ -> Rng.bits64 rng)
+      [ (); (); (); () ]
+  in
+  Alcotest.(check int) "all first draws distinct" 4
+    (List.length (List.sort_uniq compare draws))
 
 (* {1 Stats} *)
 
@@ -267,6 +374,30 @@ let () =
           Alcotest.test_case "pick_weighted zero weight" `Quick test_rng_pick_weighted;
           Alcotest.test_case "pick_weighted ratio" `Quick test_rng_pick_weighted_ratio;
           Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "split_n reproducible" `Quick
+            test_rng_split_n_reproducible;
+          Alcotest.test_case "split_n disjoint streams" `Quick
+            test_rng_split_n_disjoint;
+          Alcotest.test_case "split_n advances parent" `Quick
+            test_rng_split_n_advances_parent;
+          Alcotest.test_case "split_n zero" `Quick test_rng_split_n_empty;
+        ] );
+      ( "par",
+        [
+          Alcotest.test_case "map matches sequential" `Quick
+            test_par_map_matches_sequential;
+          Alcotest.test_case "map empty/singleton" `Quick
+            test_par_map_empty_and_single;
+          Alcotest.test_case "more domains than items" `Quick
+            test_par_map_more_domains_than_items;
+          Alcotest.test_case "mapi indices" `Quick test_par_mapi_indices;
+          Alcotest.test_case "exception propagation" `Quick
+            test_par_map_propagates_exception;
+          Alcotest.test_case "default domains" `Quick test_par_default_domains;
+          Alcotest.test_case "map_rng domain-invariant" `Quick
+            test_par_map_rng_domain_invariant;
+          Alcotest.test_case "map_rng streams differ" `Quick
+            test_par_map_rng_streams_differ;
         ] );
       ( "stats",
         [
