@@ -2,37 +2,51 @@
    evaluation (Sec. 5 plus the motivating figures), then runs Bechamel
    microbenchmarks of placement runtime.
 
+   The section list is data (Cm_experiments.Experiments.sections), not a
+   hand-maintained match: this file only appends the Bechamel-based
+   "runtime" section, so harness and experiment library cannot drift.
+
    Usage:
      dune exec bench/main.exe                 -- run everything, paper scale
      dune exec bench/main.exe -- --fast       -- 2000 arrivals per point
      dune exec bench/main.exe -- fig7 table1  -- selected sections only
-     dune exec bench/main.exe -- --arrivals 500 --seed 7 --jobs 4 fig8 *)
+     dune exec bench/main.exe -- --arrivals 500 --seed 7 --jobs 4 fig8
+     dune exec bench/main.exe -- --fast fig8 --metrics-out BENCH_run.json *)
 
 module E = Cm_experiments.Experiments
 module Table = Cm_util.Table
 module Par = Cm_util.Par
+module Obs_log = Cm_obs.Log
+module Metrics = Cm_obs.Metrics
+module Span = Cm_obs.Span
+module Json = Cm_obs.Json
+
+module Log = Obs_log.Make (struct
+  let name = "bench"
+end)
 
 let requested : string list ref = ref []
 let params = ref E.default_params
+let metrics_out : string option ref = ref None
 
-let known_sections =
-  [
-    "fig1"; "fig2"; "fig3"; "fig4"; "fig6"; "table1"; "workloads"; "fig7";
-    "fig8"; "fig9"; "fig10"; "replicates"; "fig11"; "fig12"; "fig12-tor";
-    "fig13"; "e2e"; "profiles"; "prediction"; "optimality"; "defrag"; "ami";
-    "ami-sweep"; "runtime-probe"; "runtime";
-  ]
+let known_sections = E.section_names @ [ "runtime" ]
 
 let usage oc =
   Printf.fprintf oc
     "usage: main.exe [OPTION]... [SECTION]...\n\n\
      Options:\n\
-    \  --fast          2000 arrivals per simulated point (default 10000)\n\
-    \  --arrivals N    Poisson arrivals per simulated point\n\
-    \  --seed N        PRNG seed (default 42)\n\
-    \  --jobs N        worker domains for parallel sweeps (default %d,\n\
-    \                  the recommended domain count of this host)\n\
-    \  --help          print this message\n\n\
+    \  --fast            2000 arrivals per simulated point (default 10000)\n\
+    \  --arrivals N      Poisson arrivals per simulated point\n\
+    \  --seed N          PRNG seed (default 42)\n\
+    \  --jobs N          worker domains for parallel sweeps (default %d,\n\
+    \                    the recommended domain count of this host)\n\
+    \  --log-level LVL   debug|info|warn|error|off (default warn)\n\
+    \  --log-json FILE   write log records as JSON lines to FILE\n\
+    \  --metrics-out FILE\n\
+    \                    enable timed spans and write the metrics registry\n\
+    \                    (per-section durations, placement histograms,\n\
+    \                    counters) to FILE as JSON on exit\n\
+    \  --help            print this message\n\n\
      Sections (default: all):\n\
     \  %s\n"
     (Par.available_domains ())
@@ -54,6 +68,11 @@ let parse_args () =
               (Printf.sprintf "%s expects an integer value, got %S" flag v))
     | [] -> usage_error (Printf.sprintf "%s expects an integer value" flag)
   in
+  let string_value flag rest k =
+    match rest with
+    | v :: rest -> k v rest
+    | [] -> usage_error (Printf.sprintf "%s expects a value" flag)
+  in
   let rec go = function
     | [] -> ()
     | "--fast" :: rest ->
@@ -72,6 +91,21 @@ let parse_args () =
         int_value "--jobs" rest (fun n rest ->
             if n < 1 then usage_error "--jobs must be >= 1";
             Par.set_default_domains n;
+            go rest)
+    | "--log-level" :: rest ->
+        string_value "--log-level" rest (fun v rest ->
+            (match Obs_log.level_of_string v with
+            | Ok level -> Obs_log.set_level level
+            | Error msg -> usage_error msg);
+            go rest)
+    | "--log-json" :: rest ->
+        string_value "--log-json" rest (fun path rest ->
+            Obs_log.open_json_file path;
+            go rest)
+    | "--metrics-out" :: rest ->
+        string_value "--metrics-out" rest (fun path rest ->
+            metrics_out := Some path;
+            Span.set_enabled true;
             go rest)
     | ("--help" | "-h") :: _ ->
         usage stdout;
@@ -173,7 +207,14 @@ let runtime_bechamel () =
   List.iter
     (fun (name, ns) ->
       let cell =
-        if Float.is_nan ns then "n/a"
+        if Float.is_nan ns then begin
+          Log.warn (fun m ->
+              m
+                "Bechamel OLS produced no run-time estimate for %S \
+                 (insufficient samples within the quota?); rendering n/a"
+                name);
+          "n/a"
+        end
         else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
         else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
         else Printf.sprintf "%.0f us" (ns /. 1e3)
@@ -182,6 +223,29 @@ let runtime_bechamel () =
     (List.sort compare !rows);
   Table.print table
 
+let write_metrics path =
+  let p = !params in
+  let extra =
+    [
+      ( "run",
+        Json.Object
+          [
+            ("harness", Json.String "bench/main.exe");
+            ("seed", Json.Number (float_of_int p.seed));
+            ("arrivals", Json.Number (float_of_int p.arrivals));
+            ("jobs", Json.Number (float_of_int (Par.default_domains ())));
+            ( "sections",
+              Json.Array
+                (List.map
+                   (fun s -> Json.String s)
+                   (if !requested = [] then known_sections
+                    else List.rev !requested)) );
+          ] );
+    ]
+  in
+  Metrics.write_file ~extra path;
+  Printf.printf "wrote metrics document to %s\n%!" path
+
 let () =
   parse_args ();
   let p () = !params in
@@ -189,52 +253,9 @@ let () =
     "CloudMirror benchmark harness (seed %d, %d arrivals per simulated \
      point, %d worker domains)\n"
     (p ()).seed (p ()).arrivals (Par.default_domains ());
-  section "fig1" (fun () -> print_tables (E.fig1 ()));
-  section "fig2" (fun () -> Table.print (E.fig2 ()));
-  section "fig3" (fun () -> Table.print (E.fig3 ()));
-  section "fig4" (fun () -> Table.print (E.fig4 ()));
-  section "fig6" (fun () -> Table.print (E.fig6 ()));
-  section "table1" (fun () ->
-      Table.print (E.table1 ~seed:(p ()).seed ~bmax:(p ()).bmax));
-  section "workloads" (fun () ->
-      print_tables (E.table1_all_workloads ~seed:(p ()).seed ~bmax:(p ()).bmax));
-  section "fig7" (fun () ->
-      Table.print
-        (E.fig7 (p ()) ~loads:[ 0.5; 0.9 ]
-           ~bmaxes:[ 400.; 600.; 800.; 1000.; 1200. ]));
-  section "fig8" (fun () ->
-      Table.print
-        (E.fig8
-           { (p ()) with bmax = 800. }
-           ~loads:[ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]));
-  section "fig9" (fun () ->
-      Table.print (E.fig9 (p ()) ~ratios:[ 16; 32; 64; 128 ]));
-  section "fig10" (fun () -> Table.print (E.fig10 (p ())));
-  section "replicates" (fun () ->
-      Table.print (E.replicates (p ()) ~seeds:[ 1; 2; 3; 4; 5 ]));
-  section "fig11" (fun () ->
-      Table.print (E.fig11 (p ()) ~rwcs_list:[ 0.; 0.25; 0.5; 0.75 ]));
-  section "fig12" (fun () ->
-      Table.print
-        (E.fig12 (p ()) ~bmaxes:[ 400.; 600.; 800.; 1000.; 1200. ]));
-  section "fig12-tor" (fun () ->
-      Table.print
-        (E.fig12 ~laa_level:1 (p ()) ~bmaxes:[ 600.; 800.; 1000. ]));
-  section "fig13" (fun () -> Table.print (E.fig13 ()));
-  section "e2e" (fun () ->
-      Table.print (E.end_to_end ~seed:(p ()).seed ~bmax:(p ()).bmax));
-  section "profiles" (fun () -> Table.print (E.profiles ~seed:(p ()).seed));
-  section "prediction" (fun () ->
-      Table.print (E.prediction ~seed:(p ()).seed));
-  section "optimality" (fun () ->
-      Table.print (E.optimality ~seed:(p ()).seed ()));
-  section "defrag" (fun () -> Table.print (E.defrag ~seed:(p ()).seed ()));
-  section "ami" (fun () ->
-      let table, _ = E.ami ~seed:(p ()).seed () in
-      Table.print table);
-  section "ami-sweep" (fun () ->
-      Table.print (E.ami_sensitivity ~seed:(p ()).seed ()));
-  section "runtime-probe" (fun () ->
-      Table.print (E.runtime_probe ~seed:(p ()).seed ~sizes:[ 25; 57; 200; 732 ]));
-  section "runtime" runtime_bechamel;
+  List.iter
+    (fun (name, run) -> section name (fun () -> print_tables (run ())))
+    (E.sections ~params:(p ()));
+  section "runtime" (fun () -> Span.with_ "section.runtime" runtime_bechamel);
+  (match !metrics_out with Some path -> write_metrics path | None -> ());
   print_newline ()

@@ -17,6 +17,59 @@ let seed_t =
   let doc = "PRNG seed; every command is deterministic given the seed." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+(* Observability options: logging threshold, log sink, and the metrics
+   snapshot.  Telemetry observes, never perturbs: results are identical
+   whatever these are set to. *)
+
+let level_conv =
+  let parse s =
+    match Cm_obs.Log.level_of_string s with
+    | Ok l -> Ok l
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf = function
+    | Some l -> Format.pp_print_string ppf (Cm_obs.Log.level_to_string l)
+    | None -> Format.pp_print_string ppf "off"
+  in
+  Arg.conv (parse, print)
+
+let obs_t =
+  let log_level_t =
+    let doc = "Log threshold: debug, info, warn, error or off." in
+    Arg.(
+      value
+      & opt level_conv (Some Cm_obs.Log.Warn)
+      & info [ "log-level" ] ~docv:"LEVEL" ~doc)
+  in
+  let log_json_t =
+    let doc = "Write log records as JSON lines to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "log-json" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_out_t =
+    let doc =
+      "Enable timed spans and, on exit, write the metrics registry \
+       (counters, placement-latency histograms, per-section spans) to \
+       $(docv) as JSON."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let setup level json_file metrics_out =
+    Cm_obs.Log.set_level level;
+    (match json_file with
+    | Some path -> Cm_obs.Log.open_json_file path
+    | None -> ());
+    if metrics_out <> None then Cm_obs.Span.set_enabled true;
+    metrics_out
+  in
+  Term.(const setup $ log_level_t $ log_json_t $ metrics_out_t)
+
+let finish_metrics = function
+  | None -> ()
+  | Some path ->
+      Cm_obs.Metrics.write_file path;
+      Printf.eprintf "wrote metrics document to %s\n%!" path
+
 let jobs_t =
   let doc =
     "Worker domains for parallel sweeps (default: the host's recommended \
@@ -52,67 +105,26 @@ let load_t =
 
 (* {1 experiment command} *)
 
+(* "runtime" predates the sections table and maps to the wall-clock
+   probe ("runtime-probe" there; the Bechamel microbenchmarks live in
+   bench/main.exe). *)
 let experiment_names =
-  [
-    "fig1"; "fig2"; "fig3"; "fig4"; "fig6"; "table1"; "workloads"; "fig7";
-    "fig8"; "fig9"; "fig10"; "replicates"; "fig11"; "fig12"; "fig12-tor";
-    "fig13"; "e2e";
-    "profiles"; "prediction"; "optimality"; "defrag"; "ami"; "ami-sweep";
-    "runtime";
-  ]
+  E.section_names @ [ "runtime" ]
 
-let run_experiment name seed arrivals bmax load jobs =
+let run_experiment metrics name seed arrivals bmax load jobs =
   set_jobs jobs;
   let p = { E.seed; arrivals; bmax; load } in
-  match name with
-  | "fig1" -> List.iter Table.print (E.fig1 ()); `Ok ()
-  | "fig2" -> Table.print (E.fig2 ()); `Ok ()
-  | "fig3" -> Table.print (E.fig3 ()); `Ok ()
-  | "fig4" -> Table.print (E.fig4 ()); `Ok ()
-  | "fig6" -> Table.print (E.fig6 ()); `Ok ()
-  | "table1" -> Table.print (E.table1 ~seed ~bmax); `Ok ()
-  | "fig7" ->
-      Table.print
-        (E.fig7 p ~loads:[ 0.5; 0.9 ] ~bmaxes:[ 400.; 600.; 800.; 1000.; 1200. ]);
+  let name = if name = "runtime" then "runtime-probe" else name in
+  match List.assoc_opt name (E.sections ~params:p) with
+  | Some run ->
+      List.iter Table.print (run ());
+      finish_metrics metrics;
       `Ok ()
-  | "fig8" ->
-      Table.print
-        (E.fig8 p ~loads:[ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]);
-      `Ok ()
-  | "fig9" -> Table.print (E.fig9 p ~ratios:[ 16; 32; 64; 128 ]); `Ok ()
-  | "fig10" -> Table.print (E.fig10 p); `Ok ()
-  | "fig11" -> Table.print (E.fig11 p ~rwcs_list:[ 0.; 0.25; 0.5; 0.75 ]); `Ok ()
-  | "fig12" ->
-      Table.print (E.fig12 p ~bmaxes:[ 400.; 600.; 800.; 1000.; 1200. ]);
-      `Ok ()
-  | "fig12-tor" ->
-      Table.print (E.fig12 ~laa_level:1 p ~bmaxes:[ 600.; 800.; 1000. ]);
-      `Ok ()
-  | "fig13" -> Table.print (E.fig13 ()); `Ok ()
-  | "workloads" ->
-      List.iter Table.print (E.table1_all_workloads ~seed ~bmax);
-      `Ok ()
-  | "replicates" ->
-      Table.print (E.replicates p ~seeds:[ 1; 2; 3; 4; 5 ]);
-      `Ok ()
-  | "e2e" -> Table.print (E.end_to_end ~seed ~bmax); `Ok ()
-  | "profiles" -> Table.print (E.profiles ~seed); `Ok ()
-  | "prediction" -> Table.print (E.prediction ~seed); `Ok ()
-  | "optimality" -> Table.print (E.optimality ~seed ()); `Ok ()
-  | "defrag" -> Table.print (E.defrag ~seed ()); `Ok ()
-  | "ami-sweep" -> Table.print (E.ami_sensitivity ~seed ()); `Ok ()
-  | "ami" ->
-      let t, _ = E.ami ~seed () in
-      Table.print t;
-      `Ok ()
-  | "runtime" ->
-      Table.print (E.runtime_probe ~seed ~sizes:[ 25; 57; 200; 732 ]);
-      `Ok ()
-  | other ->
+  | None ->
       `Error
-        (false,
-         Printf.sprintf "unknown experiment %S; one of: %s" other
-           (String.concat ", " experiment_names))
+        ( false,
+          Printf.sprintf "unknown experiment %S; one of: %s" name
+            (String.concat ", " experiment_names) )
 
 let experiment_cmd =
   let name_t =
@@ -124,8 +136,8 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc)
     Term.(
       ret
-        (const run_experiment $ name_t $ seed_t $ arrivals_t $ bmax_t $ load_t
-       $ jobs_t))
+        (const run_experiment $ obs_t $ name_t $ seed_t $ arrivals_t $ bmax_t
+       $ load_t $ jobs_t))
 
 (* {1 pool command} *)
 
@@ -198,7 +210,8 @@ let example_tag = function
   | "batch" -> Cm_tag.Examples.batch ~size:32 ~bw:300. ()
   | other -> invalid_arg (Printf.sprintf "unknown example tenant %S" other)
 
-let run_place example file alg rwcs =
+let run_place metrics example file alg rwcs =
+  Fun.protect ~finally:(fun () -> finish_metrics metrics) @@ fun () ->
   match
     match file with
     | Some path -> Cm_tag.Tag_format.of_file path
@@ -273,7 +286,7 @@ let place_cmd =
   in
   let doc = "Place an example tenant on the default 2048-server datacenter." in
   Cmd.v (Cmd.info "place" ~doc)
-    Term.(ret (const run_place $ example_t $ file_t $ alg_t $ rwcs_t))
+    Term.(ret (const run_place $ obs_t $ example_t $ file_t $ alg_t $ rwcs_t))
 
 (* {1 infer command} *)
 
@@ -331,8 +344,10 @@ let infer_cmd =
 
 (* {1 simulate command} *)
 
-let run_simulate kind alg seed arrivals bmax load rwcs replicates jobs =
+let run_simulate metrics kind alg seed arrivals bmax load rwcs replicates jobs
+    =
   set_jobs jobs;
+  Fun.protect ~finally:(fun () -> finish_metrics metrics) @@ fun () ->
   let pool =
     match kind with
     | `Bing -> Pool.bing_like ~seed ()
@@ -424,8 +439,8 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
-      const run_simulate $ pool_kind_t $ alg_t $ seed_t $ arrivals_t $ bmax_t
-      $ load_t $ rwcs_t $ replicates_t $ jobs_t)
+      const run_simulate $ obs_t $ pool_kind_t $ alg_t $ seed_t $ arrivals_t
+      $ bmax_t $ load_t $ rwcs_t $ replicates_t $ jobs_t)
 
 (* {1 scale command} *)
 
@@ -550,16 +565,14 @@ let failures_cmd =
 let default_cmd = Term.(ret (const (`Help (`Pager, None))))
 
 let () =
-  (* CLOUDMIRROR_LOG=debug|info enables placement logging on stderr. *)
+  (* CLOUDMIRROR_LOG=debug|info enables placement logging on stderr
+     (the --log-level option is the first-class spelling). *)
   (match Sys.getenv_opt "CLOUDMIRROR_LOG" with
   | Some level ->
-      Logs.set_reporter (Logs.format_reporter ());
-      Logs.set_level
-        (match String.lowercase_ascii level with
-        | "debug" -> Some Logs.Debug
-        | "info" -> Some Logs.Info
-        | "warning" -> Some Logs.Warning
-        | _ -> Some Logs.Info)
+      Cm_obs.Log.set_level
+        (match Cm_obs.Log.level_of_string level with
+        | Ok l -> l
+        | Error _ -> Some Cm_obs.Log.Info)
   | None -> ());
   let info =
     Cmd.info "cloudmirror" ~version:"1.0.0"

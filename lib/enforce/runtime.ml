@@ -2,6 +2,11 @@ type config = { probe_gain : float; decay : float; headroom : float }
 
 let default_config = { probe_gain = 0.1; decay = 0.1; headroom = 0. }
 
+(* Control-loop telemetry: guarantee-partitioning recomputations (one
+   per period) and per-pair rate-limiter updates. *)
+let m_gp_updates = Cm_obs.Metrics.counter "enforce.gp.updates"
+let m_ra_updates = Cm_obs.Metrics.counter "enforce.ra.updates"
+
 type flow_spec = {
   pair : Elastic.active_pair;
   path : int list;
@@ -30,6 +35,8 @@ let capacity_of t l =
   | None -> invalid_arg (Printf.sprintf "Runtime: unknown link %d" l)
 
 let step t ~flows =
+  Cm_obs.Metrics.incr m_gp_updates;
+  Cm_obs.Metrics.incr ~by:(List.length flows) m_ra_updates;
   (* 1. GP: per-pair guarantees from the current active set. *)
   let pairs = List.map (fun f -> f.pair) flows in
   let demands = List.map (fun f -> f.demand) flows in

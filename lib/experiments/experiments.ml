@@ -1050,3 +1050,55 @@ let runtime_probe ~seed ~sizes =
         ])
     sizes;
   t
+
+(* {1 Section table}
+
+   The single source of truth for the experiment sections that
+   bench/main.exe and the cloudmirror CLI dispatch: the harnesses
+   iterate this table rather than maintaining their own name lists, so a
+   new experiment added here is automatically runnable (and testable)
+   everywhere.  Each handler is wrapped in a "section.<name>" timed span
+   so a --metrics-out run records per-section wall time. *)
+
+let sections ~params:p =
+  let one f () = [ f () ] in
+  [
+    ("fig1", fig1);
+    ("fig2", one fig2);
+    ("fig3", one fig3);
+    ("fig4", one fig4);
+    ("fig6", one fig6);
+    ("table1", one (fun () -> table1 ~seed:p.seed ~bmax:p.bmax));
+    ("workloads", fun () -> table1_all_workloads ~seed:p.seed ~bmax:p.bmax);
+    ( "fig7",
+      one (fun () ->
+          fig7 p ~loads:[ 0.5; 0.9 ]
+            ~bmaxes:[ 400.; 600.; 800.; 1000.; 1200. ]) );
+    ( "fig8",
+      one (fun () ->
+          fig8 p ~loads:[ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ])
+    );
+    ("fig9", one (fun () -> fig9 p ~ratios:[ 16; 32; 64; 128 ]));
+    ("fig10", one (fun () -> fig10 p));
+    ("replicates", one (fun () -> replicates p ~seeds:[ 1; 2; 3; 4; 5 ]));
+    ("fig11", one (fun () -> fig11 p ~rwcs_list:[ 0.; 0.25; 0.5; 0.75 ]));
+    ( "fig12",
+      one (fun () -> fig12 p ~bmaxes:[ 400.; 600.; 800.; 1000.; 1200. ]) );
+    ( "fig12-tor",
+      one (fun () -> fig12 ~laa_level:1 p ~bmaxes:[ 600.; 800.; 1000. ]) );
+    ("fig13", one fig13);
+    ("e2e", one (fun () -> end_to_end ~seed:p.seed ~bmax:p.bmax));
+    ("profiles", one (fun () -> profiles ~seed:p.seed));
+    ("prediction", one (fun () -> prediction ~seed:p.seed));
+    ("optimality", one (fun () -> optimality ~seed:p.seed ()));
+    ("defrag", one (fun () -> defrag ~seed:p.seed ()));
+    ("ami", one (fun () -> fst (ami ~seed:p.seed ())));
+    ("ami-sweep", one (fun () -> ami_sensitivity ~seed:p.seed ()));
+    ( "runtime-probe",
+      one (fun () -> runtime_probe ~seed:p.seed ~sizes:[ 25; 57; 200; 732 ])
+    );
+  ]
+  |> List.map (fun (name, run) ->
+         (name, fun () -> Cm_obs.Span.with_ ("section." ^ name) run))
+
+let section_names = List.map fst (sections ~params:default_params)

@@ -140,3 +140,19 @@ val runtime_probe :
 (** Single-shot wall-clock probe of place+release latency per algorithm
     and tenant size (complements the Bechamel microbenchmarks in
     [bench/main.exe]). *)
+
+(** {1 Section table} *)
+
+val sections :
+  params:sim_params -> (string * (unit -> Cm_util.Table.t list)) list
+(** The experiment sections, as data: one [(name, run)] pair per table /
+    figure above, with the paper's sweep parameters baked in.  This is
+    the single dispatch table used by [bench/main.exe] and the
+    [cloudmirror experiment] command, so names and handlers cannot
+    drift.  Every handler is wrapped in a ["section.<name>"]
+    {!Cm_obs.Span}, giving per-section wall-time histograms in the
+    metrics document. *)
+
+val section_names : string list
+(** [List.map fst (sections ~params:default_params)], in dispatch
+    order. *)

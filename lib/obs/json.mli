@@ -1,0 +1,36 @@
+(** Minimal JSON document model with a compact emitter and a strict
+    parser.  Dependency-free on purpose: the observability layer must
+    not pull serialization libraries into every consumer of the core
+    libraries.
+
+    Object keys keep their insertion order when emitted, so documents
+    built from sorted inputs are byte-stable across runs. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Non-finite numbers render as
+    [null], so the output is always valid JSON. *)
+
+val of_string : string -> (t, string) result
+(** Strict recursive-descent parser for the subset emitted by
+    {!to_string} (i.e. standard JSON).  Errors carry the byte offset. *)
+
+val member : string -> t -> t option
+(** [member key (Object _)] looks a field up; [None] otherwise. *)
+
+val to_float : t -> float option
+(** Number payload of a [Number]. *)
+
+val to_int : t -> int option
+(** [Number] payload when it is integral. *)
+
+val escape : string -> string
+(** JSON string escaping of the payload, without the surrounding
+    quotes. *)

@@ -1,0 +1,125 @@
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Ok (Some Debug)
+  | "info" -> Ok (Some Info)
+  | "warn" | "warning" -> Ok (Some Warn)
+  | "error" | "err" -> Ok (Some Error)
+  | "off" | "none" | "quiet" -> Ok None
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown log level %S (expected debug|info|warn|error|off)" other)
+
+(* The threshold is read on every (potential) log call from any domain;
+   a plain ref suffices because levels are configured from the main
+   domain before workers start, and a torn read of an immediate value is
+   impossible in OCaml anyway. *)
+let threshold : level option ref = ref (Some Warn)
+let set_level l = threshold := l
+let level () = !threshold
+
+let would_log lvl =
+  match !threshold with
+  | None -> false
+  | Some t -> severity lvl >= severity t
+
+type record = { ts : float; level : level; src : string; message : string }
+
+type sink =
+  | Stderr
+  | Channel of out_channel
+  | Json_lines of out_channel
+  | Custom of (record -> unit)
+
+let render_human r =
+  Printf.sprintf "[%s] [%s] %s" (level_to_string r.level) r.src r.message
+
+let render_json r =
+  Json.to_string
+    (Json.Object
+       [
+         ("ts", Json.Number r.ts);
+         ("level", Json.String (level_to_string r.level));
+         ("src", Json.String r.src);
+         ("msg", Json.String r.message);
+       ])
+
+(* Emission is serialized: records from concurrent domains never
+   interleave mid-line. *)
+let sink_lock = Mutex.create ()
+let current_sink = ref Stderr
+
+(* Channels we opened ourselves (open_json_file) and must close. *)
+let owned_channel : out_channel option ref = ref None
+
+let close_owned () =
+  match !owned_channel with
+  | Some oc ->
+      owned_channel := None;
+      (try close_out oc with Sys_error _ -> ())
+  | None -> ()
+
+let set_sink s =
+  Mutex.lock sink_lock;
+  close_owned ();
+  current_sink := s;
+  Mutex.unlock sink_lock
+
+let open_json_file path =
+  let oc = open_out path in
+  Mutex.lock sink_lock;
+  close_owned ();
+  owned_channel := Some oc;
+  current_sink := Json_lines oc;
+  Mutex.unlock sink_lock
+
+let () = at_exit (fun () -> set_sink Stderr)
+
+let emit lvl src message =
+  let r = { ts = Unix.gettimeofday (); level = lvl; src; message } in
+  Mutex.lock sink_lock;
+  (match !current_sink with
+  | Stderr ->
+      prerr_string (render_human r);
+      prerr_newline ()
+  | Channel oc ->
+      output_string oc (render_human r);
+      output_char oc '\n';
+      flush oc
+  | Json_lines oc ->
+      output_string oc (render_json r);
+      output_char oc '\n';
+      flush oc
+  | Custom f -> f r);
+  Mutex.unlock sink_lock
+
+module type NAME = sig
+  val name : string
+end
+
+module type S = sig
+  val debug : ((('a, unit, string, unit) format4 -> 'a) -> unit) -> unit
+  val info : ((('a, unit, string, unit) format4 -> 'a) -> unit) -> unit
+  val warn : ((('a, unit, string, unit) format4 -> 'a) -> unit) -> unit
+  val err : ((('a, unit, string, unit) format4 -> 'a) -> unit) -> unit
+end
+
+module Make (N : NAME) : S = struct
+  let log lvl msgf =
+    if would_log lvl then msgf (fun fmt -> Printf.ksprintf (emit lvl N.name) fmt)
+
+  let debug msgf = log Debug msgf
+  let info msgf = log Info msgf
+  let warn msgf = log Warn msgf
+  let err msgf = log Error msgf
+end

@@ -1,0 +1,275 @@
+(* Shard count: power of two, comfortably above the domain counts we run
+   with (Domain.recommended_domain_count on big hosts).  Domain ids are
+   assigned sequentially, so [id land (n_shards - 1)] spreads concurrent
+   domains across distinct shards in practice; a collision only costs an
+   atomic retry, never correctness. *)
+let n_shards = 64
+let shard_id () = (Domain.self () :> int) land (n_shards - 1)
+
+(* Lock-free add on a boxed-float atomic: CAS on the value we read works
+   because the compare is physical equality on that very box. *)
+let rec atomic_add_float cell x =
+  let v = Atomic.get cell in
+  if not (Atomic.compare_and_set cell v (v +. x)) then atomic_add_float cell x
+
+let rec atomic_min_float cell x =
+  let v = Atomic.get cell in
+  if x < v && not (Atomic.compare_and_set cell v x) then atomic_min_float cell x
+
+let rec atomic_max_float cell x =
+  let v = Atomic.get cell in
+  if x > v && not (Atomic.compare_and_set cell v x) then atomic_max_float cell x
+
+type counter = int Atomic.t array
+
+type gauge = float Atomic.t
+
+type hist_shard = {
+  bucket_counts : int Atomic.t array; (* n_bounds + 1, last = overflow *)
+  h_sum : float Atomic.t;
+  h_min : float Atomic.t;
+  h_max : float Atomic.t;
+}
+
+type histogram = { upper_bounds : float array; shards : hist_shard array }
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+(* Registration is rare and goes through a lock; handles are then used
+   lock-free on the hot path. *)
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register name make check =
+  Mutex.lock registry_lock;
+  let metric =
+    match Hashtbl.find_opt registry name with
+    | Some existing -> begin
+        match check existing with
+        | Some m -> m
+        | None ->
+            Mutex.unlock registry_lock;
+            invalid_arg
+              (Printf.sprintf
+                 "Cm_obs.Metrics: %S is already registered as a %s" name
+                 (kind_name existing))
+      end
+    | None ->
+        let m = make () in
+        Hashtbl.replace registry name m;
+        m
+  in
+  Mutex.unlock registry_lock;
+  metric
+
+let counter name =
+  match
+    register name
+      (fun () -> Counter (Array.init n_shards (fun _ -> Atomic.make 0)))
+      (function Counter c -> Some (Counter c) | _ -> None)
+  with
+  | Counter c -> c
+  | _ -> assert false
+
+let incr ?(by = 1) (c : counter) =
+  ignore (Atomic.fetch_and_add c.(shard_id ()) by)
+
+let counter_value (c : counter) =
+  Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c
+
+let gauge name =
+  match
+    register name
+      (fun () -> Gauge (Atomic.make 0.))
+      (function Gauge g -> Some (Gauge g) | _ -> None)
+  with
+  | Gauge g -> g
+  | _ -> assert false
+
+let set (g : gauge) x = Atomic.set g x
+let gauge_value (g : gauge) = Atomic.get g
+
+let default_buckets =
+  (* 1 us * 2^i, i = 0..29: 1 us .. ~537 s. *)
+  Array.init 30 (fun i -> 1e-6 *. Float.of_int (1 lsl i))
+
+let make_hist_shard n_bounds =
+  {
+    bucket_counts = Array.init (n_bounds + 1) (fun _ -> Atomic.make 0);
+    h_sum = Atomic.make 0.;
+    h_min = Atomic.make Float.infinity;
+    h_max = Atomic.make Float.neg_infinity;
+  }
+
+let histogram ?(buckets = default_buckets) name =
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg
+          (Printf.sprintf
+             "Cm_obs.Metrics.histogram %S: bounds must be strictly increasing"
+             name))
+    buckets;
+  match
+    register name
+      (fun () ->
+        Histogram
+          {
+            upper_bounds = Array.copy buckets;
+            shards = Array.init n_shards (fun _ -> make_hist_shard (Array.length buckets));
+          })
+      (function
+        | Histogram h ->
+            if h.upper_bounds = buckets || buckets == default_buckets then
+              Some (Histogram h)
+            else None
+        | _ -> None)
+  with
+  | Histogram h -> h
+  | _ -> assert false
+
+(* Index of the first bound >= x, or n_bounds (overflow). *)
+let bucket_index bounds x =
+  let n = Array.length bounds in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if x <= bounds.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let observe (h : histogram) x =
+  let shard = h.shards.(shard_id ()) in
+  ignore
+    (Atomic.fetch_and_add shard.bucket_counts.(bucket_index h.upper_bounds x) 1);
+  atomic_add_float shard.h_sum x;
+  atomic_min_float shard.h_min x;
+  atomic_max_float shard.h_max x
+
+type histogram_snapshot = {
+  upper_bounds : float array;
+  counts : int array;
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+}
+
+let snapshot (h : histogram) =
+  let n = Array.length h.upper_bounds in
+  let counts = Array.make (n + 1) 0 in
+  let sum = ref 0. in
+  let mn = ref Float.infinity and mx = ref Float.neg_infinity in
+  (* Fixed shard order: the merge is deterministic for a given multiset
+     of per-shard contents. *)
+  Array.iter
+    (fun shard ->
+      Array.iteri
+        (fun i cell -> counts.(i) <- counts.(i) + Atomic.get cell)
+        shard.bucket_counts;
+      sum := !sum +. Atomic.get shard.h_sum;
+      mn := Float.min !mn (Atomic.get shard.h_min);
+      mx := Float.max !mx (Atomic.get shard.h_max))
+    h.shards;
+  let count = Array.fold_left ( + ) 0 counts in
+  {
+    upper_bounds = Array.copy h.upper_bounds;
+    counts;
+    count;
+    sum = !sum;
+    min_v = (if count = 0 then Float.nan else !mn);
+    max_v = (if count = 0 then Float.nan else !mx);
+  }
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter
+    (fun _ metric ->
+      match metric with
+      | Counter c -> Array.iter (fun cell -> Atomic.set cell 0) c
+      | Gauge g -> Atomic.set g 0.
+      | Histogram h ->
+          Array.iter
+            (fun shard ->
+              Array.iter (fun cell -> Atomic.set cell 0) shard.bucket_counts;
+              Atomic.set shard.h_sum 0.;
+              Atomic.set shard.h_min Float.infinity;
+              Atomic.set shard.h_max Float.neg_infinity)
+            h.shards)
+    registry;
+  Mutex.unlock registry_lock
+
+let sorted_entries () =
+  Mutex.lock registry_lock;
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) entries
+
+let names () = List.map fst (sorted_entries ())
+
+let span_prefix = "span."
+
+let histogram_json h =
+  let s = snapshot h in
+  let num_or_null x = if Float.is_nan x then Json.Null else Json.Number x in
+  Json.Object
+    [
+      ("count", Json.Number (float_of_int s.count));
+      ("sum", Json.Number s.sum);
+      ( "mean",
+        if s.count = 0 then Json.Null
+        else Json.Number (s.sum /. float_of_int s.count) );
+      ("min", num_or_null s.min_v);
+      ("max", num_or_null s.max_v);
+      ( "le",
+        Json.Array
+          (Array.to_list (Array.map (fun b -> Json.Number b) s.upper_bounds))
+      );
+      ( "counts",
+        Json.Array
+          (Array.to_list
+             (Array.map (fun c -> Json.Number (float_of_int c)) s.counts)) );
+    ]
+
+let document ?(extra = []) () =
+  let counters = ref [] and gauges = ref [] in
+  let histograms = ref [] and spans = ref [] in
+  List.iter
+    (fun (name, metric) ->
+      match metric with
+      | Counter c ->
+          counters :=
+            (name, Json.Number (float_of_int (counter_value c))) :: !counters
+      | Gauge g -> gauges := (name, Json.Number (gauge_value g)) :: !gauges
+      | Histogram h ->
+          let target, key =
+            if String.starts_with ~prefix:span_prefix name then
+              ( spans,
+                String.sub name (String.length span_prefix)
+                  (String.length name - String.length span_prefix) )
+            else (histograms, name)
+          in
+          target := (key, histogram_json h) :: !target)
+    (List.rev (sorted_entries ()));
+  Json.Object
+    (("schema", Json.String "cloudmirror.metrics/1")
+    :: extra
+    @ [
+        ("counters", Json.Object !counters);
+        ("gauges", Json.Object !gauges);
+        ("histograms", Json.Object !histograms);
+        ("spans", Json.Object !spans);
+      ])
+
+let write_file ?extra path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Json.to_string (document ?extra ()));
+      Out_channel.output_char oc '\n')

@@ -1,0 +1,82 @@
+(** Process-wide registry of named counters, gauges and fixed-bucket
+    histograms.
+
+    Hot-path updates are O(1) and domain-safe: counter and histogram
+    cells are sharded by domain id (atomics per shard), so concurrent
+    workers in the {!Cm_util.Par} pool never contend on a single cell.
+    Reads merge the shards in fixed index order, which makes snapshots
+    deterministic for a given set of recorded values.
+
+    Metrics observe — they never perturb.  Nothing in this module feeds
+    back into the instrumented computation, so experiment outputs are
+    bit-identical with metrics enabled or disabled, at any [--jobs N]. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Registers (or retrieves) the counter called [name].
+    @raise Invalid_argument if [name] is registered as another kind. *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1) — one atomic add on this domain's shard. *)
+
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+(** Last-writer-wins across domains. *)
+
+val gauge_value : gauge -> float
+
+val histogram : ?buckets:float array -> string -> histogram
+(** Registers (or retrieves) a histogram.  [buckets] are strictly
+    increasing inclusive upper bounds; observations above the last bound
+    land in an overflow bucket.  The bucket layout is fixed at first
+    registration; a differing layout on re-registration raises.  The
+    default layout is {!default_buckets}. *)
+
+val default_buckets : float array
+(** Powers of two from 1 microsecond to ~537 seconds — suitable for
+    durations in seconds, the registry's most common payload. *)
+
+val observe : histogram -> float -> unit
+
+type histogram_snapshot = {
+  upper_bounds : float array;
+  counts : int array;  (** [length upper_bounds + 1]; last = overflow. *)
+  count : int;
+  sum : float;
+  min_v : float;  (** [nan] when empty. *)
+  max_v : float;  (** [nan] when empty. *)
+}
+
+val snapshot : histogram -> histogram_snapshot
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations survive).  Test helper;
+    not safe concurrently with writers. *)
+
+val names : unit -> string list
+(** Sorted names of all registered metrics. *)
+
+val document : ?extra:(string * Json.t) list -> unit -> Json.t
+(** Stable-schema JSON snapshot of the whole registry:
+
+    {v
+    { "schema": "cloudmirror.metrics/1",
+      ...extra fields...,
+      "counters":   { name: int, ... },
+      "gauges":     { name: float, ... },
+      "histograms": { name: {"count","sum","mean","min","max",
+                             "le": [bounds...], "counts": [...]}, ... },
+      "spans":      { label: same-shape histogram object, ... } }
+    v}
+
+    Histograms registered under a ["span."] prefix (see {!Span}) are
+    reported in ["spans"] with the prefix stripped.  All maps are sorted
+    by name. *)
+
+val write_file : ?extra:(string * Json.t) list -> string -> unit
+(** {!document} serialized to [path], with a trailing newline. *)

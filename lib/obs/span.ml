@@ -1,0 +1,39 @@
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+type t = Metrics.histogram
+
+(* Interning table: an immutable association list swapped by CAS, so
+   lookups are lock-free from any domain.  Span label sets are small
+   (tens) and interning is expected once per call site, so a list scan
+   on miss is irrelevant. *)
+let interned : (string * t) list Atomic.t = Atomic.make []
+
+let rec v label =
+  match List.assoc_opt label (Atomic.get interned) with
+  | Some h -> h
+  | None ->
+      let h = Metrics.histogram ("span." ^ label) in
+      let seen = Atomic.get interned in
+      if List.mem_assoc label seen then h
+      else if Atomic.compare_and_set interned seen ((label, h) :: seen) then h
+      else v label
+
+let record h dt = if enabled () then Metrics.observe h dt
+
+let with_span h f =
+  if not (enabled ()) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    match f () with
+    | y ->
+        Metrics.observe h (Unix.gettimeofday () -. t0);
+        y
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Metrics.observe h (Unix.gettimeofday () -. t0);
+        Printexc.raise_with_backtrace e bt
+  end
+
+let with_ label f = with_span (v label) f

@@ -1,0 +1,30 @@
+(** Timed spans: wall-clock histograms per label.
+
+    [Span.with_ "cm.place" f] runs [f] and, when spans are enabled,
+    records its wall time into the histogram ["span.cm.place"] in the
+    {!Metrics} registry (reported under ["spans"] in the metrics
+    document).  When disabled — the default — the cost is one branch:
+    no clock is read and nothing is allocated, so instrumented hot paths
+    are unperturbed.
+
+    The duration is recorded even when [f] raises; the exception is
+    re-raised with its backtrace. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+type t
+(** An interned span label: the histogram handle is resolved once, so
+    per-call overhead on hot paths is just the clock reads. *)
+
+val v : string -> t
+(** Intern [label].  Idempotent; safe from any domain. *)
+
+val with_span : t -> (unit -> 'a) -> 'a
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** [with_ label f] = [with_span (v label) f]. *)
+
+val record : t -> float -> unit
+(** Record an externally-measured duration (seconds); respects
+    {!enabled}. *)

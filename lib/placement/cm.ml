@@ -3,9 +3,22 @@ module Tag = Cm_tag.Tag
 module Bandwidth = Cm_tag.Bandwidth
 module State = Alloc_state
 
-let log_src = Logs.Src.create "cloudmirror.cm" ~doc:"CloudMirror placement"
+module Log = Cm_obs.Log.Make (struct
+  let name = "placement"
+end)
 
-module Log = (val Logs.src_log log_src : Logs.LOG)
+module Metrics = Cm_obs.Metrics
+
+(* Telemetry of §5.1's "Algorithm runtime" quantities: how often the
+   subset-sum greedy runs, how often it exhausts a child, how often a
+   whole subtree attempt is rolled back, and why tenants are rejected.
+   Counters only observe — placement decisions never read them. *)
+let m_subset_sum_calls = Metrics.counter "cm.subset_sum.calls"
+let m_subset_sum_child_exhausted = Metrics.counter "cm.subset_sum.child_exhausted"
+let m_place_backtracks = Metrics.counter "cm.place.backtracks"
+let m_place_accepted = Metrics.counter "cm.place.accepted"
+let m_reject_no_slots = Metrics.counter "cm.place.reject.no_slots"
+let m_reject_no_bandwidth = Metrics.counter "cm.place.reject.no_bandwidth"
 
 type policy = {
   colocate : bool;
@@ -224,6 +237,7 @@ let find_tiers_to_coloc ~verify state remaining st dead =
    closest to the child's available bandwidth-per-slot target.  In
    [single] mode (§4.5 opportunistic HA) only one VM is returned. *)
 let md_subset_sum state remaining st dead ~single =
+  Metrics.incr m_subset_sum_calls;
   let tree = State.tree state and tag = State.tag state in
   let n_comp = Tag.n_components tag in
   let demand = Array.init n_comp (vm_demand tag) in
@@ -276,6 +290,7 @@ let md_subset_sum state remaining st dead ~single =
         done;
         if !placed_n > 0 then Some (child, gsub)
         else begin
+          Metrics.incr m_subset_sum_child_exhausted;
           Hashtbl.replace dead child ();
           try_children rest
         end
@@ -446,6 +461,9 @@ let place sched (req : Types.request) =
   let rec attempt level =
     if level > top then begin
       let reason = reject () in
+      (match reason with
+      | Types.No_slots -> Metrics.incr m_reject_no_slots
+      | Types.No_bandwidth -> Metrics.incr m_reject_no_bandwidth);
       Log.info (fun m ->
           m "reject tenant %s (%d VMs): %s" (Tag.name tag) total_vms
             (Types.reject_to_string reason));
@@ -461,12 +479,14 @@ let place sched (req : Types.request) =
           then begin
             let locations = State.server_locations state in
             let committed = State.commit state in
+            Metrics.incr m_place_accepted;
             Log.debug (fun m ->
                 m "placed tenant %s (%d VMs) under node %d (level %d)"
                   (Tag.name tag) total_vms st (Tree.level tree st));
             Ok { Types.req; locations; committed }
           end
           else begin
+            Metrics.incr m_place_backtracks;
             Log.debug (fun m ->
                 m "tenant %s: subtree %d (level %d) failed with %d/%d VMs \
                    placed; retrying higher"

@@ -13,6 +13,21 @@ type scheduler = {
 
 type maker = Cm_topology.Tree.t -> scheduler
 
+(* Per-algorithm place/release wall-time histograms ("span.place.CM",
+   "span.release.OVOC", ...).  The span handles are interned once per
+   scheduler; with spans disabled (the default) the wrapper costs one
+   branch, so Bechamel microbenchmarks of [place] stay honest. *)
+let instrument sched =
+  let place_span = Cm_obs.Span.v ("place." ^ sched.sched_name) in
+  let release_span = Cm_obs.Span.v ("release." ^ sched.sched_name) in
+  {
+    sched with
+    place =
+      (fun req -> Cm_obs.Span.with_span place_span (fun () -> sched.place req));
+    release =
+      (fun p -> Cm_obs.Span.with_span release_span (fun () -> sched.release p));
+  }
+
 let cm_policy_name (p : Cm.policy) =
   let base =
     match (p.colocate, p.balance) with
@@ -30,27 +45,30 @@ let cm_policy_name (p : Cm.policy) =
 
 let cm ?(policy = Cm.default_policy) tree =
   let sched = Cm.create ~policy tree in
-  {
-    sched_name = cm_policy_name policy;
-    place = Cm.place sched;
-    release = Cm.release sched;
-  }
+  instrument
+    {
+      sched_name = cm_policy_name policy;
+      place = Cm.place sched;
+      release = Cm.release sched;
+    }
 
 let oktopus tree =
   let sched = Oktopus.create tree in
-  {
-    sched_name = "OVOC";
-    place = Oktopus.place sched;
-    release = Oktopus.release sched;
-  }
+  instrument
+    {
+      sched_name = "OVOC";
+      place = Oktopus.place sched;
+      release = Oktopus.release sched;
+    }
 
 let secondnet tree =
   let sched = Secondnet.create tree in
-  {
-    sched_name = "SecondNet";
-    place = Secondnet.place sched;
-    release = Secondnet.release sched;
-  }
+  instrument
+    {
+      sched_name = "SecondNet";
+      place = Secondnet.place sched;
+      release = Secondnet.release sched;
+    }
 
 let round_robin tree =
   let module Tree = Cm_topology.Tree in
@@ -102,20 +120,23 @@ let round_robin tree =
       Error Cm_placement.Types.No_slots
     end
   in
-  {
-    sched_name = "RR";
-    place;
-    release = (fun p -> Reservation.release tree p.Cm_placement.Types.committed);
-  }
+  instrument
+    {
+      sched_name = "RR";
+      place;
+      release =
+        (fun p -> Reservation.release tree p.Cm_placement.Types.committed);
+    }
 
 let vc tree =
   let sched = Oktopus.create tree in
-  {
-    sched_name = "OVC";
-    place =
-      (fun (req : Cm_placement.Types.request) ->
-        let converted = Cm_tag.Convert.to_vc req.tag in
-        Oktopus.place sched
-          (Cm_placement.Types.request ?ha:req.ha converted));
-    release = Oktopus.release sched;
-  }
+  instrument
+    {
+      sched_name = "OVC";
+      place =
+        (fun (req : Cm_placement.Types.request) ->
+          let converted = Cm_tag.Convert.to_vc req.tag in
+          Oktopus.place sched
+            (Cm_placement.Types.request ?ha:req.ha converted));
+      release = Oktopus.release sched;
+    }

@@ -5,6 +5,14 @@ module Wcs = Cm_placement.Wcs
 module Pool = Cm_workload.Pool
 module Rng = Cm_util.Rng
 module Pqueue = Cm_util.Pqueue
+module Metrics = Cm_obs.Metrics
+
+(* Arrival/departure telemetry, aggregated across every run (and every
+   worker domain) of the process. *)
+let m_arrivals = Metrics.counter "sim.arrivals"
+let m_departures = Metrics.counter "sim.departures"
+let m_accepted = Metrics.counter "sim.accepted"
+let m_rejected = Metrics.counter "sim.rejected"
 
 type config = {
   seed : int;
@@ -80,6 +88,7 @@ let run (sched : Driver.scheduler) tree pool config =
   let total_slots = float_of_int (Tree.total_slots tree) in
   for _ = 1 to config.n_arrivals do
     clock := !clock +. Rng.exponential rng ~rate:lambda;
+    Metrics.incr m_arrivals;
     (* Process departures scheduled before this arrival. *)
     let rec drain () =
       match Pqueue.peek departures with
@@ -87,6 +96,7 @@ let run (sched : Driver.scheduler) tree pool config =
           match Pqueue.pop departures with
           | Some (_, placement) ->
               sched.Driver.release placement;
+              Metrics.incr m_departures;
               drain ()
           | None -> ()
         end
@@ -105,6 +115,7 @@ let run (sched : Driver.scheduler) tree pool config =
     match sched.Driver.place (Types.request ?ha:config.ha tag) with
     | Ok placement ->
         incr accepted;
+        Metrics.incr m_accepted;
         (* Use the placement's own TAG: schedulers may deploy a converted
            rendering (e.g. the VC baseline) with different components. *)
         let wcs =
@@ -116,6 +127,7 @@ let run (sched : Driver.scheduler) tree pool config =
         Pqueue.push departures (!clock +. dwell) placement
     | Error reason ->
         incr rejected;
+        Metrics.incr m_rejected;
         rejected_vms := !rejected_vms + vms;
         rejected_bw := !rejected_bw +. bw;
         (match reason with
@@ -127,6 +139,7 @@ let run (sched : Driver.scheduler) tree pool config =
     match Pqueue.pop departures with
     | Some (_, placement) ->
         sched.Driver.release placement;
+        Metrics.incr m_departures;
         drain_all ()
     | None -> ()
   in
@@ -151,7 +164,8 @@ let run_replications ?domains make spec pool config ~seeds =
      identical to mapping [run] over the seeds sequentially. *)
   Cm_util.Par.map ?domains
     (fun seed ->
-      let tree = Tree.create spec in
-      let sched = make tree in
-      run sched tree pool { config with seed })
+      Cm_obs.Span.with_ "sim.replication" (fun () ->
+          let tree = Tree.create spec in
+          let sched = make tree in
+          run sched tree pool { config with seed }))
     seeds

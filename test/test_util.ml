@@ -233,6 +233,46 @@ let test_stats_percentile () =
 let test_stats_percentile_interpolates () =
   check_float "interp" 1.5 (Stats.percentile [| 1.; 2. |] 50.)
 
+let expect_invalid name f =
+  Alcotest.(check bool) name true
+    (match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_stats_single_element () =
+  check_float "mean single" 5. (Stats.mean [| 5. |]);
+  check_float "variance single" 0. (Stats.variance [| 5. |]);
+  check_float "stddev single" 0. (Stats.stddev [| 5. |]);
+  check_float "p0 single" 5. (Stats.percentile [| 5. |] 0.);
+  check_float "p50 single" 5. (Stats.percentile [| 5. |] 50.);
+  check_float "p100 single" 5. (Stats.percentile [| 5. |] 100.);
+  check_float "median single" 5. (Stats.median [| 5. |]);
+  let lo, hi = Stats.min_max [| 5. |] in
+  check_float "min single" 5. lo;
+  check_float "max single" 5. hi
+
+let test_stats_empty_and_invalid () =
+  check_float "total empty" 0. (Stats.total [||]);
+  check_float "variance empty" 0. (Stats.variance [||]);
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "cdf empty" [] (Stats.cdf_points [||]);
+  expect_invalid "percentile empty" (fun () -> Stats.percentile [||] 50.);
+  expect_invalid "percentile p > 100" (fun () ->
+      Stats.percentile [| 1. |] 101.);
+  expect_invalid "percentile p < 0" (fun () ->
+      Stats.percentile [| 1. |] (-1.));
+  expect_invalid "min_max empty" (fun () -> Stats.min_max [||]);
+  expect_invalid "histogram zero bins" (fun () ->
+      Stats.histogram [| 1. |] ~bins:0 ~lo:0. ~hi:1.)
+
+let test_stats_histogram_clamps () =
+  (* Out-of-range samples land in the edge bins, never out of bounds. *)
+  let counts = Stats.histogram [| -5.; 0.6; 99. |] ~bins:2 ~lo:0. ~hi:1. in
+  Alcotest.(check (array int)) "clamped" [| 1; 2 |] counts;
+  (* Degenerate lo = hi range: everything in bin 0. *)
+  let counts = Stats.histogram [| 1.; 2. |] ~bins:3 ~lo:1. ~hi:1. in
+  Alcotest.(check (array int)) "degenerate range" [| 2; 0; 0 |] counts
+
 let test_stats_median_unsorted () =
   check_float "median" 2. (Stats.median [| 3.; 1.; 2. |])
 
@@ -347,6 +387,30 @@ let test_table_caption () =
     (String.length (Table.render t) > 13
     && String.sub (Table.render t) 0 13 = "hello caption")
 
+let test_table_alignment_exact () =
+  let t = Table.create [ ("l", Table.Left); ("r", Table.Right) ] in
+  Table.add_row t [ "ab"; "1" ];
+  Table.add_row t [ "c"; "23" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  (* Column widths are max(header, cells); left cells pad right, right
+     cells pad left, two spaces between columns. *)
+  Alcotest.(check bool) "left-padded left col / right-aligned right col" true
+    (List.mem "ab   1" lines && List.mem "c   23" lines)
+
+let test_table_cells_verbatim () =
+  (* Cell payloads are emitted verbatim — quoting/escaping is the JSON
+     layer's job, the table renderer must not mangle content. *)
+  let t = Table.create [ ("k", Table.Left); ("v", Table.Left) ] in
+  let tricky = "a|b\"c\\d" in
+  Table.add_row t [ tricky; "x" ];
+  let rendered = Table.render t in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "verbatim cell" true (contains rendered tricky)
+
 let test_pqueue_clear () =
   let q = Pqueue.create () in
   Pqueue.push q 1. 1;
@@ -412,6 +476,11 @@ let () =
           Alcotest.test_case "ratio" `Quick test_stats_ratio;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
           Alcotest.test_case "cdf points" `Quick test_stats_cdf;
+          Alcotest.test_case "single element" `Quick test_stats_single_element;
+          Alcotest.test_case "empty and invalid args" `Quick
+            test_stats_empty_and_invalid;
+          Alcotest.test_case "histogram clamps" `Quick
+            test_stats_histogram_clamps;
         ] );
       ( "pqueue",
         [
@@ -429,6 +498,9 @@ let () =
           Alcotest.test_case "short rows padded" `Quick test_table_pad_short_row;
           Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
           Alcotest.test_case "caption" `Quick test_table_caption;
+          Alcotest.test_case "alignment exact" `Quick
+            test_table_alignment_exact;
+          Alcotest.test_case "cells verbatim" `Quick test_table_cells_verbatim;
           Alcotest.test_case "pqueue clear" `Quick test_pqueue_clear;
         ] );
     ]
