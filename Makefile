@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test ci bench bench-fast examples doc clean
+.PHONY: all build test ci bench bench-fast bench-placement examples doc clean
 
 all: build
 
@@ -32,6 +32,11 @@ bench:
 # Same harness at 2000 arrivals per simulated point.
 bench-fast:
 	dune exec bench/main.exe -- --fast $(JOBS_FLAG)
+
+# Placement hot-path microbenchmark only; writes a metrics document to
+# compare against the committed BENCH_pr3.json baseline.
+bench-placement:
+	dune exec bench/main.exe -- $(JOBS_FLAG) placement --metrics-out BENCH_placement.json
 
 examples:
 	dune exec examples/quickstart.exe

@@ -67,7 +67,7 @@ let () =
             let out, _ = Bandwidth.required model pipeline ~inside in
             acc +. out)
           0.
-          (Tree.nodes_at_level tree 1)
+          (Array.to_list (Tree.nodes_at_level tree 1))
       in
       Printf.printf
         "\nrack-uplink bandwidth this placement needs under each model:\n";

@@ -3,6 +3,14 @@ module Reservation = Cm_topology.Reservation
 module Tag = Cm_tag.Tag
 module Bandwidth = Cm_tag.Bandwidth
 
+(* The undo journal is a flat typed log in parallel growable arrays — one
+   entry per journaled mutation, written as immediates (no closure
+   allocation on the place/sync hot path).  [j_kind] 0 is a path-count
+   delta: [j_delta] VMs of [j_comp] were added to every node on the
+   [j_node](server)→root path, undone by re-walking the path with the
+   negated delta.  [j_kind] 1 is a bandwidth baseline: [t.bw]'s entry for
+   [j_node] was replaced, undone by restoring the saved ([j_up], [j_down])
+   pair. *)
 type t = {
   the_tree : Tree.t;
   the_tag : Tag.t;
@@ -12,11 +20,19 @@ type t = {
   txn : Reservation.t;
   counts : (int, int array) Hashtbl.t;
   bw : (int, float * float) Hashtbl.t;
-  mutable journal : (unit -> unit) list;
+  zero_counts : int array; (* shared all-zeros inside-vector; never mutated *)
+  mutable j_kind : int array;
+  mutable j_node : int array;
+  mutable j_comp : int array;
+  mutable j_delta : int array;
+  mutable j_up : float array;
+  mutable j_down : float array;
   mutable jlen : int;
 }
 
 type checkpoint = { jcp : int; rcp : Reservation.checkpoint }
+
+let journal_capacity = 32
 
 let create ?(model = Bandwidth.Tag_model) ?ha the_tree the_tag =
   let n = Tag.n_components the_tag in
@@ -36,7 +52,13 @@ let create ?(model = Bandwidth.Tag_model) ?ha the_tree the_tag =
     txn = Reservation.start the_tree;
     counts = Hashtbl.create 64;
     bw = Hashtbl.create 64;
-    journal = [];
+    zero_counts = Array.make n 0;
+    j_kind = Array.make journal_capacity 0;
+    j_node = Array.make journal_capacity 0;
+    j_comp = Array.make journal_capacity 0;
+    j_delta = Array.make journal_capacity 0;
+    j_up = Array.make journal_capacity 0.;
+    j_down = Array.make journal_capacity 0.;
     jlen = 0;
   }
 
@@ -44,9 +66,48 @@ let tree t = t.the_tree
 let tag t = t.the_tag
 let model t = t.the_model
 
-let journal_push t undo =
-  t.journal <- undo :: t.journal;
-  t.jlen <- t.jlen + 1
+let ensure_journal_room t =
+  if t.jlen = Array.length t.j_kind then begin
+    let cap = 2 * Array.length t.j_kind in
+    let grow_int a =
+      let b = Array.make cap 0 in
+      Array.blit a 0 b 0 t.jlen;
+      b
+    in
+    let grow_float a =
+      let b = Array.make cap 0. in
+      Array.blit a 0 b 0 t.jlen;
+      b
+    in
+    t.j_kind <- grow_int t.j_kind;
+    t.j_node <- grow_int t.j_node;
+    t.j_comp <- grow_int t.j_comp;
+    t.j_delta <- grow_int t.j_delta;
+    t.j_up <- grow_float t.j_up;
+    t.j_down <- grow_float t.j_down
+  end
+
+let journal_counts t ~server ~comp ~delta =
+  ensure_journal_room t;
+  let i = t.jlen in
+  t.j_kind.(i) <- 0;
+  t.j_node.(i) <- server;
+  t.j_comp.(i) <- comp;
+  t.j_delta.(i) <- delta;
+  t.j_up.(i) <- 0.;
+  t.j_down.(i) <- 0.;
+  t.jlen <- i + 1
+
+let journal_bw t ~node ~up ~down =
+  ensure_journal_room t;
+  let i = t.jlen in
+  t.j_kind.(i) <- 1;
+  t.j_node.(i) <- node;
+  t.j_comp.(i) <- 0;
+  t.j_delta.(i) <- 0;
+  t.j_up.(i) <- up;
+  t.j_down.(i) <- down;
+  t.jlen <- i + 1
 
 let node_counts t node =
   match Hashtbl.find_opt t.counts node with
@@ -67,6 +128,16 @@ let counts_at t ~node =
   | Some arr -> Array.copy arr
 
 let placed_on_server t ~server = counts_at t ~node:server
+
+(* Apply a count delta on every node of the server→root path, via raw
+   parent ids (no path list allocation). *)
+let add_along_path t server comp delta =
+  let id = ref server in
+  while !id >= 0 do
+    let arr = node_counts t !id in
+    arr.(comp) <- arr.(comp) + delta;
+    id := Tree.parent_id t.the_tree !id
+  done
 
 let ha_cap t ~node ~comp =
   match t.ha with
@@ -91,12 +162,7 @@ let seed t ~old_tag ~locations =
   Array.iteri
     (fun c placed ->
       List.iter
-        (fun (server, n) ->
-          List.iter
-            (fun node ->
-              let arr = node_counts t node in
-              arr.(c) <- arr.(c) + n)
-            (Tree.path_to_root t.the_tree server))
+        (fun (server, n) -> add_along_path t server c n)
         placed)
     locations;
   Hashtbl.iter
@@ -116,12 +182,8 @@ let remove t ~server ~comp ~n =
          (n * Tag.vm_slots t.the_tag comp))
   then false
   else begin
-    List.iter
-      (fun node ->
-        let arr = node_counts t node in
-        arr.(comp) <- arr.(comp) - n;
-        journal_push t (fun () -> arr.(comp) <- arr.(comp) + n))
-      (Tree.path_to_root t.the_tree server);
+    add_along_path t server comp (-n);
+    journal_counts t ~server ~comp ~delta:(-n);
     true
   end
 
@@ -136,19 +198,21 @@ let place t ~server ~comp ~n =
       (Reservation.take_slots t.txn ~server (n * Tag.vm_slots t.the_tag comp))
   then false
   else begin
-    List.iter
-      (fun node ->
-        let arr = node_counts t node in
-        arr.(comp) <- arr.(comp) + n;
-        journal_push t (fun () -> arr.(comp) <- arr.(comp) - n))
-      (Tree.path_to_root t.the_tree server);
+    add_along_path t server comp n;
+    journal_counts t ~server ~comp ~delta:n;
     true
   end
 
 let sync_bw t ~node =
   if node = Tree.root t.the_tree then true
   else
-    let inside = counts_at t ~node in
+    (* Borrow the live inside-vector (shared zeros when untouched):
+       [Bandwidth.required] only reads it, so no defensive copy. *)
+    let inside =
+      match Hashtbl.find_opt t.counts node with
+      | Some arr -> arr
+      | None -> t.zero_counts
+    in
     let required_up, required_down =
       Bandwidth.required t.the_model t.the_tag ~inside
     in
@@ -159,34 +223,28 @@ let sync_bw t ~node =
     if d_up = 0. && d_down = 0. then true
     else if Reservation.reserve_bw t.txn ~node ~up:d_up ~down:d_down then begin
       Hashtbl.replace t.bw node (required_up, required_down);
-      journal_push t (fun () -> Hashtbl.replace t.bw node (cur_up, cur_down));
+      journal_bw t ~node ~up:cur_up ~down:cur_down;
       true
     end
     else false
 
 let checkpoint t = { jcp = t.jlen; rcp = Reservation.checkpoint t.txn }
 
+let undo_journal_suffix t jcp =
+  for i = t.jlen - 1 downto jcp do
+    if t.j_kind.(i) = 0 then
+      add_along_path t t.j_node.(i) t.j_comp.(i) (-t.j_delta.(i))
+    else Hashtbl.replace t.bw t.j_node.(i) (t.j_up.(i), t.j_down.(i))
+  done;
+  t.jlen <- jcp
+
 let rollback_to t { jcp; rcp } =
   if jcp < 0 || jcp > t.jlen then invalid_arg "Alloc_state.rollback_to";
-  while t.jlen > jcp do
-    match t.journal with
-    | [] -> assert false
-    | undo :: rest ->
-        undo ();
-        t.journal <- rest;
-        t.jlen <- t.jlen - 1
-  done;
+  undo_journal_suffix t jcp;
   Reservation.rollback_to t.txn rcp
 
 let rollback t =
-  while t.jlen > 0 do
-    match t.journal with
-    | [] -> assert false
-    | undo :: rest ->
-        undo ();
-        t.journal <- rest;
-        t.jlen <- t.jlen - 1
-  done;
+  undo_journal_suffix t 0;
   Reservation.rollback t.txn
 
 let sync_path_above t ~node =
@@ -203,7 +261,6 @@ let sync_path_above t ~node =
   end
 
 let commit t =
-  t.journal <- [];
   t.jlen <- 0;
   Reservation.commit t.txn
 

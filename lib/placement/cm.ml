@@ -57,34 +57,9 @@ let total = Array.fold_left ( + ) 0
 let vm_demand tag c =
   Float.max (Tag.per_vm_send tag c) (Tag.per_vm_recv tag c)
 
-(* Available bandwidth per free slot across a node's children — the
-   yardstick for both "low-bandwidth tier" exclusion and §4.5 saving
-   desirability. *)
-let child_bw_per_slot tree st =
-  let bw = ref 0. and free = ref 0 in
-  Array.iter
-    (fun child ->
-      let f = Tree.free_slots_subtree tree child in
-      if f > 0 then begin
-        free := !free + f;
-        bw :=
-          !bw
-          +. Float.min (Tree.available_up tree child)
-               (Tree.available_down tree child)
-      end)
-    (Tree.children tree st);
-  if !free = 0 then None else Some (!bw /. float_of_int !free)
-
 let demand_estimate sched tag =
   let current = Tag.mean_vm_demand tag in
   if sched.n_seen = 0 then current else Float.max current sched.demand_ewma
-
-(* Bandwidth saving below [st] is desirable when the bandwidth available
-   per free slot is scarcer than the expected per-VM demand (§4.5). *)
-let saving_desirable sched tag st =
-  match child_bw_per_slot sched.the_tree st with
-  | None -> false
-  | Some per_slot -> per_slot < demand_estimate sched tag
 
 (* Lowest tree level at which containing a tenant saves scarce bandwidth;
    opportunistic HA starts FindLowestSubtree there. *)
@@ -94,15 +69,12 @@ let opp_start_level sched tag =
   let top = Tree.n_levels tree - 1 in
   let level_scarce l =
     let bw = ref 0. and free = ref 0 in
-    List.iter
+    Array.iter
       (fun id ->
         let f = Tree.free_slots_subtree tree id in
         if f > 0 then begin
           free := !free + f;
-          bw :=
-            !bw
-            +. Float.min (Tree.available_up tree id)
-                 (Tree.available_down tree id)
+          bw := !bw +. Tree.available_updown tree id
         end)
       (Tree.nodes_at_level tree l);
     !free > 0 && !bw /. float_of_int !free < estimate
@@ -110,15 +82,154 @@ let opp_start_level sched tag =
   let rec search l = if l >= top then top else if level_scarce l then l else search (l + 1) in
   search 0
 
-let alive_children state st dead =
-  let tree = State.tree state in
-  Tree.children tree st |> Array.to_list
-  |> List.filter (fun c ->
-         (not (Hashtbl.mem dead c)) && Tree.free_slots_subtree tree c > 0)
-  |> List.sort (fun a b ->
-         compare
-           (Tree.free_slots_subtree tree b, a)
-           (Tree.free_slots_subtree tree a, b))
+(* {1 Per-placement allocation context}
+
+   One [Alloc] of a tenant walks the subtree recursively, and every switch
+   visit used to rebuild child lists, re-sort them, recompute the
+   bandwidth-per-slot yardstick and allocate fresh scratch arrays inside
+   each Colocate/Balance iteration.  A [ctx] hoists everything that is
+   constant per placement (per-component demands, the server fill order),
+   and one [frame] per tree level owns the mutable per-switch working set.
+   Frames can be statically per-level because [alloc] only ever recurses
+   strictly downward, so a level is never re-entered while in use, and all
+   nodes of a level share one degree. *)
+
+type frame = {
+  mutable st : int; (* switch this frame currently serves *)
+  (* Alive-children cache: child ids with free slots, not marked dead,
+     ordered by (free slots desc, id asc) — rebuilt lazily on [fresh]
+     = false.  [keys.(k)]'s low bits hold the child's index within
+     [Tree.children], used for [dead] marking. *)
+  keys : int array;
+  order : int array;
+  mutable n_alive : int;
+  dead : bool array;
+  mutable fresh : bool;
+  (* Available bandwidth per free slot across all children (free > 0,
+     dead or not) — the yardstick for both "low-bandwidth tier"
+     exclusion and §4.5 saving desirability; [nan] when no child has
+     free slots.  Cached together with the ordering. *)
+  mutable bw_per_slot : float;
+  (* Scratch candidate buffers: [gsub] is written by the current
+     candidate; accepting a candidate swaps it with [gsub_best]. *)
+  mutable gsub : int array;
+  mutable gsub_best : int array;
+  mutable best_score : float;
+  caps : int array;
+  remaining : int array;
+  placed : int array;
+}
+
+type ctx = {
+  sched : t;
+  state : State.t;
+  ctree : Tree.t;
+  ctag : Tag.t;
+  n_comp : int;
+  demand : float array; (* vm_demand per component *)
+  comp_order : int array; (* component indices, demand desc then index asc *)
+  frames : frame array; (* index = tree level *)
+}
+
+let idx_bits = 20
+let idx_mask = (1 lsl idx_bits) - 1
+
+let make_frame tree n_comp level =
+  let rep = (Tree.nodes_at_level tree level).(0) in
+  let degree = Array.length (Tree.children tree rep) in
+  {
+    st = -1;
+    keys = Array.make degree 0;
+    order = Array.make degree 0;
+    n_alive = 0;
+    dead = Array.make degree false;
+    fresh = false;
+    bw_per_slot = Float.nan;
+    gsub = Array.make n_comp 0;
+    gsub_best = Array.make n_comp 0;
+    best_score = 0.;
+    caps = Array.make n_comp 0;
+    remaining = Array.make n_comp 0;
+    placed = Array.make n_comp 0;
+  }
+
+let make_ctx sched state tag =
+  let tree = sched.the_tree in
+  let n_comp = Tag.n_components tag in
+  let demand = Array.init n_comp (vm_demand tag) in
+  let comp_order = Array.init n_comp Fun.id in
+  (* Demand-descending with an explicit ascending-index tiebreak — the
+     order the old stable sort produced. *)
+  Array.sort
+    (fun a b ->
+      let c = compare demand.(b) demand.(a) in
+      if c <> 0 then c else compare a b)
+    comp_order;
+  {
+    sched;
+    state;
+    ctree = tree;
+    ctag = tag;
+    n_comp;
+    demand;
+    comp_order;
+    frames = Array.init (Tree.n_levels tree) (make_frame tree n_comp);
+  }
+
+(* Rebuild the alive-children ordering and the bandwidth-per-slot cache.
+   Invalidated ([fresh] <- false) whenever a child placement changes free
+   slots/bandwidth or a child is marked dead; between invalidations every
+   consumer reads the same snapshot, which is what keeps decisions
+   bit-identical to the rebuild-per-call original. *)
+let refresh ctx frame =
+  if not frame.fresh then begin
+    let tree = ctx.ctree in
+    let children = Tree.children tree frame.st in
+    let bw = ref 0. and free_total = ref 0 and n = ref 0 in
+    for i = 0 to Array.length children - 1 do
+      let f = Tree.free_slots_subtree tree children.(i) in
+      if f > 0 then begin
+        free_total := !free_total + f;
+        bw := !bw +. Tree.available_updown tree children.(i);
+        if not frame.dead.(i) then begin
+          (* Key sorts ascending as (free desc, index asc); index order
+             is id order, children ids being assigned left-to-right. *)
+          frame.keys.(!n) <- (((1 lsl 42) - f) lsl idx_bits) lor i;
+          incr n
+        end
+      end
+    done;
+    (* Insertion sort: child counts are small and the array is scratch. *)
+    for k = 1 to !n - 1 do
+      let key = frame.keys.(k) in
+      let j = ref (k - 1) in
+      while !j >= 0 && frame.keys.(!j) > key do
+        frame.keys.(!j + 1) <- frame.keys.(!j);
+        decr j
+      done;
+      frame.keys.(!j + 1) <- key
+    done;
+    for k = 0 to !n - 1 do
+      frame.order.(k) <- children.(frame.keys.(k) land idx_mask)
+    done;
+    frame.n_alive <- !n;
+    frame.bw_per_slot <-
+      (if !free_total = 0 then Float.nan
+       else !bw /. float_of_int !free_total);
+    frame.fresh <- true
+  end
+
+let mark_dead frame idx =
+  frame.dead.(idx) <- true;
+  frame.fresh <- false
+
+(* Bandwidth saving below the frame's switch is desirable when the
+   bandwidth available per free slot is scarcer than the expected per-VM
+   demand (§4.5). *)
+let saving_desirable ctx frame =
+  refresh ctx frame;
+  (not (Float.is_nan frame.bw_per_slot))
+  && frame.bw_per_slot < demand_estimate ctx.sched ctx.ctag
 
 (* Saving of Eq. 4 applied to the reverse (incoming) direction of a trunk
    edge: worst case is all of [src] outside the subtree. *)
@@ -129,219 +240,233 @@ let trunk_saving_in tag (e : Tag.edge) ~src_inside ~dst_inside =
     -. (float_of_int (n_src - src_inside) *. e.snd_bw))
     0.
 
+(* A candidate group was built in [frame.gsub]; keep it if it strictly
+   beats the best so far (ties keep the earlier candidate, as the
+   original fold did). *)
+let consider frame score =
+  if score > 0. && score > frame.best_score && total frame.gsub > 0 then begin
+    frame.best_score <- score;
+    let scratch = frame.gsub_best in
+    frame.gsub_best <- frame.gsub;
+    frame.gsub <- scratch
+  end
+
 (* FindTiersToColoc (§4.4): pick the child with the most room and the
    tier group whose colocation into it saves the most uplink bandwidth,
    filtering with the size conditions (Eqs. 2/6) and verifying actual
    savings (Eq. 4).  Low-bandwidth tiers are left for Balance. *)
-let find_tiers_to_coloc ~verify state remaining st dead =
-  let tree = State.tree state and tag = State.tag state in
-  match alive_children state st dead with
-  | [] -> None
-  | child :: _ ->
-      let free = Tree.free_slots_subtree tree child in
-      let threshold =
-        match child_bw_per_slot tree st with Some r -> r | None -> 0.
-      in
-      let low_bw c = vm_demand tag c <= threshold in
-      let cap c =
-        min
-          (min remaining.(c) (free / Tag.vm_slots tag c))
-          (State.ha_cap state ~node:child ~comp:c)
-      in
-      let inside c = State.count state ~node:child ~comp:c in
-      let n_comp = Tag.n_components tag in
-      let best = ref None in
-      let consider score gsub =
-        if score > 0. && total gsub > 0 then
-          match !best with
-          | Some (s, _) when s >= score -> ()
-          | _ -> best := Some (score, gsub)
-      in
-      (* Hose (self-loop) tiers: Eq. 2. *)
-      for c = 0 to n_comp - 1 do
-        match Tag.self_loop tag c with
-        | Some e when e.snd_bw > 0. && not (low_bw c) ->
-            let k = cap c in
-            if k > 0 then begin
-              let after = inside c + k in
-              let n_total = Tag.size tag c in
-              if Bandwidth.hose_saving_possible ~n_total ~n_inside:after
-              then begin
-                let score =
-                  float_of_int ((2 * after) - n_total) *. e.snd_bw
-                in
-                let gsub = Array.make n_comp 0 in
-                gsub.(c) <- k;
-                consider score gsub
-              end
-            end
-        | Some _ | None -> ()
-      done;
-      (* Trunk pairs: Eq. 6 filter, Eq. 4 verification, both directions.
-         Edges to external components never benefit from colocation. *)
-      Array.iter
-        (fun (e : Tag.edge) ->
-          if
-            (not (Tag.is_external tag e.src))
-            && (not (Tag.is_external tag e.dst))
-            && e.src <> e.dst
-            && (e.snd_bw > 0. || e.rcv_bw > 0.)
-          then
-            if not (low_bw e.src && low_bw e.dst) then begin
-              let cap_src = cap e.src and cap_dst = cap e.dst in
-              let cost_src = Tag.vm_slots tag e.src
-              and cost_dst = Tag.vm_slots tag e.dst in
-              let k_src, k_dst =
-                if (cap_src * cost_src) + (cap_dst * cost_dst) <= free then
-                  (cap_src, cap_dst)
-                else
-                  let slots_src =
-                    if cap_src + cap_dst = 0 then 0
-                    else
-                      free * (cap_src * cost_src)
-                      / ((cap_src * cost_src) + (cap_dst * cost_dst))
-                  in
-                  let k_src = min (slots_src / cost_src) cap_src in
-                  (k_src, min ((free - (k_src * cost_src)) / cost_dst) cap_dst)
+let find_tiers_to_coloc ~verify ctx frame remaining =
+  refresh ctx frame;
+  if frame.n_alive = 0 then None
+  else begin
+    let tree = ctx.ctree and tag = ctx.ctag and state = ctx.state in
+    let n_comp = ctx.n_comp in
+    let child = frame.order.(0) in
+    let child_idx = frame.keys.(0) land idx_mask in
+    let free = Tree.free_slots_subtree tree child in
+    let threshold =
+      if Float.is_nan frame.bw_per_slot then 0. else frame.bw_per_slot
+    in
+    let low_bw c = ctx.demand.(c) <= threshold in
+    let cap c =
+      min
+        (min remaining.(c) (free / Tag.vm_slots tag c))
+        (State.ha_cap state ~node:child ~comp:c)
+    in
+    let inside c = State.count state ~node:child ~comp:c in
+    frame.best_score <- 0.;
+    (* Hose (self-loop) tiers: Eq. 2. *)
+    for c = 0 to n_comp - 1 do
+      match Tag.self_loop tag c with
+      | Some e when e.snd_bw > 0. && not (low_bw c) ->
+          let k = cap c in
+          if k > 0 then begin
+            let after = inside c + k in
+            let n_total = Tag.size tag c in
+            if Bandwidth.hose_saving_possible ~n_total ~n_inside:after
+            then begin
+              let score =
+                float_of_int ((2 * after) - n_total) *. e.snd_bw
               in
-              let in_src = inside e.src + k_src
-              and in_dst = inside e.dst + k_dst in
-              if
-                Bandwidth.trunk_size_condition tag e ~src_inside:in_src
+              Array.fill frame.gsub 0 n_comp 0;
+              frame.gsub.(c) <- k;
+              consider frame score
+            end
+          end
+      | Some _ | None -> ()
+    done;
+    (* Trunk pairs: Eq. 6 filter, Eq. 4 verification, both directions.
+       Edges to external components never benefit from colocation. *)
+    let edges = Tag.edges tag in
+    for ei = 0 to Array.length edges - 1 do
+      let e = edges.(ei) in
+      if
+        (not (Tag.is_external tag e.src))
+        && (not (Tag.is_external tag e.dst))
+        && e.src <> e.dst
+        && (e.snd_bw > 0. || e.rcv_bw > 0.)
+      then
+        if not (low_bw e.src && low_bw e.dst) then begin
+          let cap_src = cap e.src and cap_dst = cap e.dst in
+          let cost_src = Tag.vm_slots tag e.src
+          and cost_dst = Tag.vm_slots tag e.dst in
+          let k_src, k_dst =
+            if (cap_src * cost_src) + (cap_dst * cost_dst) <= free then
+              (cap_src, cap_dst)
+            else
+              let slots_src =
+                if cap_src + cap_dst = 0 then 0
+                else
+                  free * (cap_src * cost_src)
+                  / ((cap_src * cost_src) + (cap_dst * cost_dst))
+              in
+              let k_src = min (slots_src / cost_src) cap_src in
+              (k_src, min ((free - (k_src * cost_src)) / cost_dst) cap_dst)
+          in
+          let in_src = inside e.src + k_src
+          and in_dst = inside e.dst + k_dst in
+          if
+            Bandwidth.trunk_size_condition tag e ~src_inside:in_src
+              ~dst_inside:in_dst
+          then begin
+            (* Eq. 6 is only necessary; verify real savings (Eq. 4)
+               unless the ablation disables it. *)
+            let score =
+              if verify then
+                Bandwidth.trunk_saving_amount tag e ~src_inside:in_src
                   ~dst_inside:in_dst
-              then begin
-                (* Eq. 6 is only necessary; verify real savings (Eq. 4)
-                   unless the ablation disables it. *)
-                let score =
-                  if verify then
-                    Bandwidth.trunk_saving_amount tag e ~src_inside:in_src
-                      ~dst_inside:in_dst
-                    +. trunk_saving_in tag e ~src_inside:in_src
-                         ~dst_inside:in_dst
-                  else Tag.b_total tag e
-                in
-                let gsub = Array.make n_comp 0 in
-                gsub.(e.src) <- k_src;
-                gsub.(e.dst) <- gsub.(e.dst) + k_dst;
-                consider score gsub
-              end
-            end)
-        (Tag.edges tag);
-      (match !best with
-      | None -> None
-      | Some (_, gsub) -> Some (child, gsub))
+                +. trunk_saving_in tag e ~src_inside:in_src
+                     ~dst_inside:in_dst
+              else Tag.b_total tag e
+            in
+            Array.fill frame.gsub 0 n_comp 0;
+            frame.gsub.(e.src) <- k_src;
+            frame.gsub.(e.dst) <- frame.gsub.(e.dst) + k_dst;
+            consider frame score
+          end
+        end
+    done;
+    if frame.best_score > 0. then Some (child_idx, child, frame.gsub_best)
+    else None
+  end
 
 (* MdSubsetSum (§4.4): fill the roomiest child so that slots and both
    bandwidth directions approach full utilization together.  The greedy
    repeatedly adds the VM whose tier keeps the running mean per-VM demand
    closest to the child's available bandwidth-per-slot target.  In
    [single] mode (§4.5 opportunistic HA) only one VM is returned. *)
-let md_subset_sum state remaining st dead ~single =
+let md_subset_sum ctx frame remaining ~single =
   Metrics.incr m_subset_sum_calls;
-  let tree = State.tree state and tag = State.tag state in
-  let n_comp = Tag.n_components tag in
-  let demand = Array.init n_comp (vm_demand tag) in
-  let rec try_children = function
-    | [] -> None
-    | child :: rest ->
-        let free = Tree.free_slots_subtree tree child in
-        let avail =
-          Float.min (Tree.available_up tree child)
-            (Tree.available_down tree child)
-        in
-        let target = avail /. float_of_int free in
-        let caps =
-          Array.init n_comp (fun c ->
-              min remaining.(c) (State.ha_cap state ~node:child ~comp:c))
-        in
-        let gsub = Array.make n_comp 0 in
-        let placed_n = ref 0 and placed_demand = ref 0. in
-        let slots = ref free in
-        let pick_one () =
-          let best = ref None in
-          for c = 0 to n_comp - 1 do
-            if gsub.(c) < caps.(c) && Tag.vm_slots tag c <= !slots then begin
-              let mean_after =
-                (!placed_demand +. demand.(c)) /. float_of_int (!placed_n + 1)
-              in
-              let fits =
-                !placed_demand +. demand.(c)
-                <= avail +. Tree.bw_epsilon
-              in
-              if fits then
-                let gap = Float.abs (mean_after -. target) in
-                match !best with
-                | Some (g, _) when g <= gap -> ()
-                | _ -> best := Some (gap, c)
+  refresh ctx frame;
+  let tree = ctx.ctree and tag = ctx.ctag and state = ctx.state in
+  let n_comp = ctx.n_comp and demand = ctx.demand in
+  (* Walk the alive snapshot taken above; children exhausted mid-call are
+     marked dead for later calls but the snapshot itself is not refreshed
+     (matching the original, which listed children once per call). *)
+  let rec try_children k =
+    if k >= frame.n_alive then None
+    else begin
+      let child = frame.order.(k) in
+      let free = Tree.free_slots_subtree tree child in
+      let avail = Tree.available_updown tree child in
+      let target = avail /. float_of_int free in
+      let caps = frame.caps in
+      for c = 0 to n_comp - 1 do
+        caps.(c) <- min remaining.(c) (State.ha_cap state ~node:child ~comp:c)
+      done;
+      let gsub = frame.gsub in
+      Array.fill gsub 0 n_comp 0;
+      let placed_n = ref 0 and placed_demand = ref 0. in
+      let slots = ref free in
+      let continue = ref true in
+      while !continue && !slots > 0 do
+        (* Pick the component whose next VM lands the mean closest to
+           the target; first index wins ties. *)
+        let best_c = ref (-1) and best_gap = ref infinity in
+        for c = 0 to n_comp - 1 do
+          if gsub.(c) < caps.(c) && Tag.vm_slots tag c <= !slots then begin
+            let mean_after =
+              (!placed_demand +. demand.(c)) /. float_of_int (!placed_n + 1)
+            in
+            let fits =
+              !placed_demand +. demand.(c) <= avail +. Tree.bw_epsilon
+            in
+            if fits then begin
+              let gap = Float.abs (mean_after -. target) in
+              if gap < !best_gap then begin
+                best_gap := gap;
+                best_c := c
+              end
             end
-          done;
-          !best
-        in
-        let continue = ref true in
-        while !continue && !slots > 0 do
-          match pick_one () with
-          | None -> continue := false
-          | Some (_, c) ->
-              gsub.(c) <- gsub.(c) + 1;
-              placed_n := !placed_n + 1;
-              placed_demand := !placed_demand +. demand.(c);
-              slots := !slots - Tag.vm_slots tag c;
-              if single then continue := false
+          end
         done;
-        if !placed_n > 0 then Some (child, gsub)
+        if !best_c < 0 then continue := false
         else begin
-          Metrics.incr m_subset_sum_child_exhausted;
-          Hashtbl.replace dead child ();
-          try_children rest
+          let c = !best_c in
+          gsub.(c) <- gsub.(c) + 1;
+          placed_n := !placed_n + 1;
+          placed_demand := !placed_demand +. demand.(c);
+          slots := !slots - Tag.vm_slots tag c;
+          if single then continue := false
         end
+      done;
+      if !placed_n > 0 then Some (frame.keys.(k) land idx_mask, child, gsub)
+      else begin
+        Metrics.incr m_subset_sum_child_exhausted;
+        mark_dead frame (frame.keys.(k) land idx_mask);
+        try_children (k + 1)
+      end
+    end
   in
-  try_children (alive_children state st dead)
+  try_children 0
 
 (* Fallback when Balance is disabled (Fig. 10 "Coloc"-only ablation):
    first-fit packing into the roomiest child, no resource balancing. *)
-let rec naive_fill state remaining st dead =
-  let tree = State.tree state and tag = State.tag state in
-  let n_comp = Tag.n_components tag in
-  match alive_children state st dead with
-  | [] -> None
-  | child :: _ ->
-      let free = ref (Tree.free_slots_subtree tree child) in
-      let gsub = Array.make n_comp 0 in
-      for c = 0 to n_comp - 1 do
-        let cost = Tag.vm_slots tag c in
-        let n =
-          min
-            (min remaining.(c) (!free / cost))
-            (State.ha_cap state ~node:child ~comp:c)
-        in
-        if n > 0 then begin
-          gsub.(c) <- n;
-          free := !free - (n * cost)
-        end
-      done;
-      if total gsub > 0 then Some (child, gsub)
-      else begin
-        Hashtbl.replace dead child ();
-        naive_fill state remaining st dead
+let rec naive_fill ctx frame remaining =
+  refresh ctx frame;
+  if frame.n_alive = 0 then None
+  else begin
+    let tree = ctx.ctree and tag = ctx.ctag and state = ctx.state in
+    let n_comp = ctx.n_comp in
+    let child = frame.order.(0) in
+    let child_idx = frame.keys.(0) land idx_mask in
+    let free = ref (Tree.free_slots_subtree tree child) in
+    let gsub = frame.gsub in
+    Array.fill gsub 0 n_comp 0;
+    for c = 0 to n_comp - 1 do
+      let cost = Tag.vm_slots tag c in
+      let n =
+        min
+          (min remaining.(c) (!free / cost))
+          (State.ha_cap state ~node:child ~comp:c)
+      in
+      if n > 0 then begin
+        gsub.(c) <- n;
+        free := !free - (n * cost)
       end
+    done;
+    if total gsub > 0 then Some (child_idx, child, gsub)
+    else begin
+      mark_dead frame child_idx;
+      naive_fill ctx frame remaining
+    end
+  end
 
-let rec alloc sched state g st =
-  if Tree.is_server (State.tree state) st then alloc_server state g st
-  else alloc_switch sched state g st
+let rec alloc ctx g st =
+  if Tree.is_server ctx.ctree st then alloc_server ctx g st
+  else alloc_switch ctx g st
 
 (* Alloc, server case: take slots (respecting Eq. 7 caps) and reserve the
-   server's uplink per the accounting model. *)
-and alloc_server state g st =
-  let tree = State.tree state and tag = State.tag state in
-  let n_comp = Array.length g in
+   server's uplink per the accounting model.  The returned array is the
+   level-0 frame's buffer — valid until the next server allocation. *)
+and alloc_server ctx g st =
+  let tree = ctx.ctree and tag = ctx.ctag and state = ctx.state in
+  let n_comp = ctx.n_comp in
   let cp = State.checkpoint state in
-  let placed = Array.make n_comp 0 in
+  let placed = ctx.frames.(0).placed in
+  Array.fill placed 0 n_comp 0;
   let free = ref (Tree.free_slots tree st) in
-  let order =
-    List.init n_comp Fun.id
-    |> List.sort (fun a b -> compare (vm_demand tag b) (vm_demand tag a))
-  in
-  List.iter
+  Array.iter
     (fun c ->
       let cost = Tag.vm_slots tag c in
       if g.(c) > 0 && !free >= cost then begin
@@ -355,7 +480,7 @@ and alloc_server state g st =
           free := !free - (n * cost)
         end
       end)
-    order;
+    ctx.comp_order;
   if total placed = 0 then begin
     State.rollback_to state cp;
     placed
@@ -363,61 +488,70 @@ and alloc_server state g st =
   else if State.sync_bw state ~node:st then placed
   else begin
     State.rollback_to state cp;
-    Array.make n_comp 0
+    Array.fill placed 0 n_comp 0;
+    placed
   end
 
 (* Alloc, switch case: Colocate then Balance over the children, then
-   reserve st's own uplink; roll everything back if it does not fit. *)
-and alloc_switch sched state g st =
-  let tag = State.tag state in
-  let n_comp = Array.length g in
+   reserve st's own uplink; roll everything back if it does not fit.
+   The returned array is this level's frame buffer — valid until the
+   next allocation at the same level. *)
+and alloc_switch ctx g st =
+  let state = ctx.state in
+  let n_comp = ctx.n_comp in
+  let frame = ctx.frames.(Tree.level ctx.ctree st) in
+  frame.st <- st;
+  Array.fill frame.dead 0 (Array.length frame.dead) false;
+  frame.fresh <- false;
   let cp = State.checkpoint state in
-  let remaining = Array.copy g in
-  let placed = Array.make n_comp 0 in
-  let try_child dead child gsub =
-    let sub = alloc sched state gsub child in
-    if total sub = 0 then Hashtbl.replace dead child ()
-    else
-      Array.iteri
-        (fun c n ->
-          placed.(c) <- placed.(c) + n;
-          remaining.(c) <- remaining.(c) - n)
-        sub
+  let remaining = frame.remaining and placed = frame.placed in
+  Array.blit g 0 remaining 0 n_comp;
+  Array.fill placed 0 n_comp 0;
+  let try_child idx child gsub =
+    let sub = alloc ctx gsub child in
+    if total sub = 0 then mark_dead frame idx
+    else begin
+      for c = 0 to n_comp - 1 do
+        placed.(c) <- placed.(c) + sub.(c);
+        remaining.(c) <- remaining.(c) - sub.(c)
+      done;
+      frame.fresh <- false
+    end
   in
   let coloc_allowed =
-    sched.the_policy.colocate
-    && ((not sched.the_policy.opportunistic_ha)
-       || saving_desirable sched tag st)
+    ctx.sched.the_policy.colocate
+    && ((not ctx.sched.the_policy.opportunistic_ha)
+       || saving_desirable ctx frame)
   in
   if coloc_allowed then begin
-    let dead = Hashtbl.create 8 in
     let continue = ref true in
     while !continue && total remaining > 0 do
       match
-        find_tiers_to_coloc
-          ~verify:sched.the_policy.verify_trunk_savings state remaining st
-          dead
+        find_tiers_to_coloc ~verify:ctx.sched.the_policy.verify_trunk_savings
+          ctx frame remaining
       with
       | None -> continue := false
-      | Some (child, gsub) -> try_child dead child gsub
+      | Some (idx, child, gsub) -> try_child idx child gsub
     done
   end;
   if total remaining > 0 then begin
-    let dead = Hashtbl.create 8 in
+    (* Balance starts over with every child considered again. *)
+    Array.fill frame.dead 0 (Array.length frame.dead) false;
+    frame.fresh <- false;
     let single =
-      sched.the_policy.opportunistic_ha
-      && not (saving_desirable sched tag st)
+      ctx.sched.the_policy.opportunistic_ha
+      && not (saving_desirable ctx frame)
     in
     let continue = ref true in
     while !continue && total remaining > 0 do
       let choice =
-        if sched.the_policy.balance then
-          md_subset_sum state remaining st dead ~single
-        else naive_fill state remaining st dead
+        if ctx.sched.the_policy.balance then
+          md_subset_sum ctx frame remaining ~single
+        else naive_fill ctx frame remaining
       in
       match choice with
       | None -> continue := false
-      | Some (child, gsub) -> try_child dead child gsub
+      | Some (idx, child, gsub) -> try_child idx child gsub
     done
   end;
   if total placed = 0 then begin
@@ -427,7 +561,8 @@ and alloc_switch sched state g st =
   else if State.sync_bw state ~node:st then placed
   else begin
     State.rollback_to state cp;
-    Array.make n_comp 0
+    Array.fill placed 0 n_comp 0;
+    placed
   end
 
 let find_lowest_subtree sched total_vms ext level =
@@ -447,6 +582,7 @@ let place sched (req : Types.request) =
   let state =
     State.create ~model:sched.the_policy.model ?ha:req.ha tree tag
   in
+  let ctx = make_ctx sched state tag in
   let ext = State.external_demand state in
   let g0 = Array.init (Tag.n_components tag) (Tag.size tag) in
   let start_level =
@@ -474,7 +610,7 @@ let place sched (req : Types.request) =
       | None -> attempt (level + 1)
       | Some st ->
           let cp = State.checkpoint state in
-          let placed = alloc sched state (Array.copy g0) st in
+          let placed = alloc ctx g0 st in
           if total placed = total_vms && State.sync_path_above state ~node:st
           then begin
             let locations = State.server_locations state in
@@ -528,6 +664,7 @@ let grow sched (placement : Types.placement) ~comp ~delta =
       new_tag
   in
   State.seed state ~old_tag ~locations:placement.locations;
+  let ctx = make_ctx sched state new_tag in
   let g0 = Array.make (Tag.n_components new_tag) 0 in
   g0.(comp) <- delta;
   let delta_slots = delta * Tag.vm_slots new_tag comp in
@@ -549,7 +686,7 @@ let grow sched (placement : Types.placement) ~comp ~delta =
       | None -> attempt (level + 1)
       | Some st ->
           let cp = State.checkpoint state in
-          let placed = alloc sched state (Array.copy g0) st in
+          let placed = alloc ctx g0 st in
           if
             total placed = delta
             (* Growing a tier raises the Eq. 1 requirement even on nodes

@@ -42,7 +42,7 @@ let place_cluster_under state ~comp ~n sub =
   let the_tree = State.tree state in
   let cp = State.checkpoint state in
   let remaining = ref n in
-  List.iter
+  Array.iter
     (fun server ->
       if !remaining > 0 then
         remaining :=

@@ -1,23 +1,41 @@
 module Tree = Cm_topology.Tree
 
+(* One top-down pass computes every candidate's path-to-root availability:
+   the (up, down) headroom clamps only shrink while descending, so each
+   tree edge is visited at most once instead of once per candidate root
+   walk.  Two prunes cut whole branches: a subtree with fewer free slots
+   than the tenant cannot contain a fitting node (free counts are subtree
+   sums), and a path whose clamped availability already fails [ext] cannot
+   recover below.  The selection key — fewest free slots, then lowest id —
+   is order-independent, so the result is bit-identical to the old
+   per-candidate scan over [nodes_at_level]. *)
 let find_lowest tree ~total_vms ~ext:(ext_out, ext_in) ~level =
-  let candidates =
-    List.filter
-      (fun id ->
-        Tree.free_slots_subtree tree id >= total_vms
-        &&
-        let up, down = Tree.available_to_root tree id in
-        up +. Tree.bw_epsilon >= ext_out && down +. Tree.bw_epsilon >= ext_in)
-      (Tree.nodes_at_level tree level)
+  let eps = Tree.bw_epsilon in
+  let best = ref (-1) in
+  let best_free = ref max_int in
+  let rec scan id lvl up down =
+    if lvl = level then begin
+      let free = Tree.free_slots_subtree tree id in
+      if free < !best_free || (free = !best_free && id < !best) then begin
+        best_free := free;
+        best := id
+      end
+    end
+    else
+      Array.iter
+        (fun c ->
+          if Tree.free_slots_subtree tree c >= total_vms then begin
+            let up = Float.min up (Tree.available_up tree c) in
+            let down = Float.min down (Tree.available_down tree c) in
+            if up +. eps >= ext_out && down +. eps >= ext_in then
+              scan c (lvl - 1) up down
+          end)
+        (Tree.children tree id)
   in
-  List.fold_left
-    (fun acc id ->
-      let key = (Tree.free_slots_subtree tree id, id) in
-      match acc with
-      | Some (k, _) when k <= key -> acc
-      | _ -> Some (key, id))
-    None candidates
-  |> Option.map snd
+  let root = Tree.root tree in
+  if Tree.free_slots_subtree tree root >= total_vms then
+    scan root (Tree.level tree root) infinity infinity;
+  if !best < 0 then None else Some !best
 
 let all_under tree root =
   let rec collect id acc =

@@ -63,10 +63,11 @@ let inject tree tenants ~laa_level ~domains =
   { outcomes; domains_failed = List.length domains }
 
 let exhaustive tree tenants ~laa_level =
-  inject tree tenants ~laa_level ~domains:(Tree.nodes_at_level tree laa_level)
+  inject tree tenants ~laa_level
+    ~domains:(Array.to_list (Tree.nodes_at_level tree laa_level))
 
 let random rng tree tenants ~laa_level ~n =
   if n <= 0 then invalid_arg "Failure.random: n must be positive";
-  let candidates = Array.of_list (Tree.nodes_at_level tree laa_level) in
+  let candidates = Tree.nodes_at_level tree laa_level in
   let domains = List.init n (fun _ -> Cm_util.Rng.pick rng candidates) in
   inject tree tenants ~laa_level ~domains

@@ -10,7 +10,11 @@
     Bandwidth deltas may be negative: adding VMs inside a subtree can
     lower the Eq. 1 requirement on its uplink (the [min] terms), so
     placements {e adjust} each node's reservation rather than only adding
-    to it.  Capacity is checked only for positive deltas. *)
+    to it.  Capacity is checked only for positive deltas.
+
+    The ledger is a flat typed journal (parallel growable arrays):
+    recording an op allocates nothing, {!checkpoint} is O(1), and
+    {!rollback_to} undoes a contiguous suffix in place. *)
 
 type t
 type checkpoint

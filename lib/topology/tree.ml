@@ -18,7 +18,7 @@ type t = {
   (* Inclusive server-id range under each node (server ids are assigned
      contiguously left-to-right, so every subtree is a range). *)
   ranges : (int * int) array;
-  level_index : int list array; (* node ids per level *)
+  level_index : int array array; (* node ids per level, ascending *)
 }
 
 type spec = {
@@ -151,11 +151,18 @@ let create spec =
     end
   in
   let root_id = build 0 (-1) in
-  let level_index = Array.make (depth + 1) [] in
-  for id = n_nodes - 1 downto 0 do
-    let l = nodes.(id).level in
-    level_index.(l) <- id :: level_index.(l)
-  done;
+  let level_index =
+    let counts = Array.make (depth + 1) 0 in
+    Array.iter (fun node -> counts.(node.level) <- counts.(node.level) + 1) nodes;
+    let index = Array.map (fun n -> Array.make n 0) counts in
+    let filled = Array.make (depth + 1) 0 in
+    for id = 0 to n_nodes - 1 do
+      let l = nodes.(id).level in
+      index.(l).(filled.(l)) <- id;
+      filled.(l) <- filled.(l) + 1
+    done;
+    index
+  in
   {
     nodes;
     root_id;
@@ -178,6 +185,8 @@ let parent t id =
   let p = t.nodes.(id).parent in
   if p < 0 then None else Some p
 
+let parent_id t id = t.nodes.(id).parent
+
 let children t id = t.nodes.(id).children
 let is_server t id = t.nodes.(id).level = 0
 let servers t = t.server_ids
@@ -186,7 +195,7 @@ let server_range t id = t.ranges.(id)
 
 let subtree_servers t id =
   let lo, hi = t.ranges.(id) in
-  List.init (hi - lo + 1) (fun i -> lo + i)
+  Array.init (hi - lo + 1) (fun i -> lo + i)
 
 let path_to_root t id =
   let rec go id acc =
@@ -212,6 +221,12 @@ let available_up t id =
 
 let available_down t id =
   t.nodes.(id).up_capacity -. t.nodes.(id).reserved_down
+
+let available_updown t id =
+  let node = t.nodes.(id) in
+  Float.min
+    (node.up_capacity -. node.reserved_up)
+    (node.up_capacity -. node.reserved_down)
 
 let available_to_root t id =
   let rec go id (up, down) =
@@ -263,11 +278,11 @@ let fits_down t ~node amount =
 
 let utilization_summary t ~level =
   let ids = t.level_index.(level) in
-  let n = List.length ids in
+  let n = Array.length ids in
   if n = 0 then (0., 0.)
   else
     let up, down =
-      List.fold_left
+      Array.fold_left
         (fun (u, d) id ->
           let node = t.nodes.(id) in
           if Float.is_finite node.up_capacity && node.up_capacity > 0. then
@@ -279,7 +294,7 @@ let utilization_summary t ~level =
     (up /. float_of_int n, down /. float_of_int n)
 
 let reserved_at_level t ~level =
-  List.fold_left
+  Array.fold_left
     (fun (u, d) id ->
       (u +. t.nodes.(id).reserved_up, d +. t.nodes.(id).reserved_down))
     (0., 0.) t.level_index.(level)

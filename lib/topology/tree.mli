@@ -49,14 +49,26 @@ val n_levels : t -> int
 val root : t -> int
 val level : t -> int -> int
 val parent : t -> int -> int option
+
+val parent_id : t -> int -> int
+(** Allocation-free variant of {!parent}: the parent's id, or [-1] for the
+    root.  Hot paths walk parent chains with this instead of building
+    {!path_to_root} lists. *)
+
 val children : t -> int -> int array
 val is_server : t -> int -> bool
 val servers : t -> int array
-val nodes_at_level : t -> int -> int list
+
+val nodes_at_level : t -> int -> int array
+(** Node ids of a level in ascending order.  The array is owned by the
+    tree — callers must not mutate it. *)
+
 val server_range : t -> int -> int * int
 (** [(lo, hi)] inclusive range of server ids under a node. *)
 
-val subtree_servers : t -> int -> int list
+val subtree_servers : t -> int -> int array
+(** Fresh array of the server ids under a node, ascending. *)
+
 val path_to_root : t -> int -> int list
 (** Node ids from the given node (inclusive) up to the root (inclusive). *)
 
@@ -82,6 +94,11 @@ val reserved_up : t -> int -> float
 val reserved_down : t -> int -> float
 val available_up : t -> int -> float
 val available_down : t -> int -> float
+
+val available_updown : t -> int -> float
+(** [min (available_up t id) (available_down t id)] in one node lookup —
+    the bidirectional headroom of a node's uplink.  Shared by the
+    placement scarcity/desirability heuristics. *)
 
 val available_to_root : t -> int -> float * float
 (** Minimum available (up, down) bandwidth along the path from the node's

@@ -1,8 +1,12 @@
-type 'a entry = { prio : float; seq : int; value : 'a }
+(* Slots are a variant rather than a bare record so freed heap positions
+   can be reset to [Empty]: a popped entry must not stay reachable from
+   the backing array, or every departed value it carries is retained
+   until the slot happens to be overwritten. *)
+type 'a slot = Empty | Entry of { prio : float; seq : int; value : 'a }
 
 type 'a t = {
-  mutable heap : 'a entry array;
-  (* [heap] slots >= [size] are stale; a dummy entry fills them. *)
+  mutable heap : 'a slot array;
+  (* [heap] slots >= [size] are [Empty]. *)
   mutable size : int;
   mutable next_seq : int;
 }
@@ -11,13 +15,16 @@ let create () = { heap = [||]; size = 0; next_seq = 0 }
 let length q = q.size
 let is_empty q = q.size = 0
 
-let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+let before a b =
+  match (a, b) with
+  | Entry a, Entry b -> a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+  | Empty, _ | _, Empty -> assert false (* live slots only *)
 
-let grow q entry =
+let grow q =
   let cap = Array.length q.heap in
   if q.size = cap then begin
     let new_cap = max 16 (2 * cap) in
-    let heap = Array.make new_cap entry in
+    let heap = Array.make new_cap Empty in
     Array.blit q.heap 0 heap 0 q.size;
     q.heap <- heap
   end
@@ -47,30 +54,35 @@ let rec sift_down q i =
   end
 
 let push q prio value =
-  let entry = { prio; seq = q.next_seq; value } in
+  grow q;
+  q.heap.(q.size) <- Entry { prio; seq = q.next_seq; value };
   q.next_seq <- q.next_seq + 1;
-  grow q entry;
-  q.heap.(q.size) <- entry;
   q.size <- q.size + 1;
   sift_up q (q.size - 1)
 
 let peek q =
   if q.size = 0 then None
   else
-    let e = q.heap.(0) in
-    Some (e.prio, e.value)
+    match q.heap.(0) with
+    | Empty -> assert false
+    | Entry e -> Some (e.prio, e.value)
 
 let pop q =
   if q.size = 0 then None
-  else begin
-    let e = q.heap.(0) in
-    q.size <- q.size - 1;
-    if q.size > 0 then begin
-      q.heap.(0) <- q.heap.(q.size);
-      sift_down q 0
-    end;
-    Some (e.prio, e.value)
-  end
+  else
+    match q.heap.(0) with
+    | Empty -> assert false
+    | Entry e ->
+        q.size <- q.size - 1;
+        if q.size > 0 then begin
+          q.heap.(0) <- q.heap.(q.size);
+          (* Clear the vacated slot so the moved entry is not doubly
+             reachable (the pop space-leak fix). *)
+          q.heap.(q.size) <- Empty;
+          sift_down q 0
+        end
+        else q.heap.(0) <- Empty;
+        Some (e.prio, e.value)
 
 let clear q =
   q.heap <- [||];

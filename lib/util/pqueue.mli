@@ -18,6 +18,14 @@ val peek : 'a t -> (float * 'a) option
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the smallest-priority element.  Ties are broken by
     insertion order (earlier insertions first), making simulations
-    deterministic. *)
+    deterministic.
+
+    The vacated heap slot is cleared immediately, so the popped element
+    (and anything it references) becomes unreachable as soon as the
+    caller drops it — a long-lived queue does not retain departed
+    values.  The backing array itself is never shrunk: capacity stays at
+    the high-water mark for reuse.  Use {!clear} to release it. *)
 
 val clear : 'a t -> unit
+(** Empty the queue and drop the backing array entirely (capacity
+    returns to zero). *)

@@ -21,18 +21,18 @@ let test_default_shape () =
   Alcotest.(check int) "servers" 2048 (Tree.n_servers t);
   Alcotest.(check int) "levels" 4 (Tree.n_levels t);
   Alcotest.(check int) "slots" (2048 * 25) (Tree.total_slots t);
-  Alcotest.(check int) "tors" 128 (List.length (Tree.nodes_at_level t 1));
-  Alcotest.(check int) "aggs" 8 (List.length (Tree.nodes_at_level t 2));
-  Alcotest.(check int) "root" 1 (List.length (Tree.nodes_at_level t 3))
+  Alcotest.(check int) "tors" 128 (Array.length (Tree.nodes_at_level t 1));
+  Alcotest.(check int) "aggs" 8 (Array.length (Tree.nodes_at_level t 2));
+  Alcotest.(check int) "root" 1 (Array.length (Tree.nodes_at_level t 3))
 
 let test_default_capacities () =
   let t = Tree.create_default () in
   let server = (Tree.servers t).(0) in
   check_float "server up" 10_000. (Tree.uplink_capacity t server);
-  let tor = List.hd (Tree.nodes_at_level t 1) in
+  let tor = (Tree.nodes_at_level t 1).(0) in
   (* 16 servers * 10G / 4 = 40G. *)
   check_float "tor up" 40_000. (Tree.uplink_capacity t tor);
-  let agg = List.hd (Tree.nodes_at_level t 2) in
+  let agg = (Tree.nodes_at_level t 2).(0) in
   (* 16 tors * 40G / 8 = 80G. *)
   check_float "agg up" 80_000. (Tree.uplink_capacity t agg);
   Alcotest.(check bool) "root infinite" true
@@ -55,10 +55,10 @@ let test_server_ranges () =
   let t = Tree.create small_spec in
   let root = Tree.root t in
   Alcotest.(check (pair int int)) "root range" (0, 7) (Tree.server_range t root);
-  let tor0 = List.hd (Tree.nodes_at_level t 1) in
+  let tor0 = (Tree.nodes_at_level t 1).(0) in
   let lo, hi = Tree.server_range t tor0 in
   Alcotest.(check int) "tor covers 2 servers" 1 (hi - lo);
-  Alcotest.(check (list int)) "subtree servers" [ lo; hi ]
+  Alcotest.(check (array int)) "subtree servers" [| lo; hi |]
     (Tree.subtree_servers t tor0)
 
 let test_parent_child_consistency () =
@@ -152,15 +152,15 @@ let test_fat_tree_shape () =
   let t = Fat_tree.create ~k:4 ~slots_per_server:4 ~server_up_mbps:1000. () in
   Alcotest.(check int) "servers" 16 (Tree.n_servers t);
   Alcotest.(check int) "servers helper" 16 (Fat_tree.n_servers ~k:4);
-  Alcotest.(check int) "pods" 4 (List.length (Tree.nodes_at_level t 2));
-  Alcotest.(check int) "edge switches" 8 (List.length (Tree.nodes_at_level t 1))
+  Alcotest.(check int) "pods" 4 (Array.length (Tree.nodes_at_level t 2));
+  Alcotest.(check int) "edge switches" 8 (Array.length (Tree.nodes_at_level t 1))
 
 let test_fat_tree_full_bisection () =
   let t = Fat_tree.create ~k:4 ~slots_per_server:4 ~server_up_mbps:1000. () in
   (* Non-blocking: each layer's uplink equals its downlink. *)
-  let edge = List.hd (Tree.nodes_at_level t 1) in
+  let edge = (Tree.nodes_at_level t 1).(0) in
   check_float "edge uplink" 2000. (Tree.uplink_capacity t edge);
-  let pod = List.hd (Tree.nodes_at_level t 2) in
+  let pod = (Tree.nodes_at_level t 2).(0) in
   check_float "pod uplink" 4000. (Tree.uplink_capacity t pod);
   check_float "bisection" 16_000.
     (Fat_tree.bisection_bandwidth ~k:4 ~server_up_mbps:1000. ())
@@ -170,7 +170,7 @@ let test_fat_tree_trimmed_core () =
     Fat_tree.create ~core_ratio:0.25 ~k:4 ~slots_per_server:4
       ~server_up_mbps:1000. ()
   in
-  let pod = List.hd (Tree.nodes_at_level t 2) in
+  let pod = (Tree.nodes_at_level t 2).(0) in
   check_float "pod uplink 4x oversubscribed" 1000. (Tree.uplink_capacity t pod);
   check_float "bisection scaled" 4000.
     (Fat_tree.bisection_bandwidth ~core_ratio:0.25 ~k:4 ~server_up_mbps:1000. ())

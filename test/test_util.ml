@@ -345,6 +345,35 @@ let test_pqueue_qcheck_sorted =
       let popped = drain [] in
       List.sort compare popped = popped)
 
+(* The pop space-leak fix: a popped entry must become collectable as soon
+   as the caller drops it, even while the queue itself stays live at its
+   high-water capacity. *)
+let test_pqueue_pop_releases () =
+  let q = Pqueue.create () in
+  let w = Weak.create 8 in
+  for i = 0 to 7 do
+    let v = ref i in
+    Weak.set w i (Some v);
+    Pqueue.push q (float_of_int i) v
+  done;
+  for _ = 1 to 4 do
+    ignore (Pqueue.pop q)
+  done;
+  Gc.full_major ();
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "popped value %d collected" i)
+      false (Weak.check w i)
+  done;
+  for i = 4 to 7 do
+    Alcotest.(check bool)
+      (Printf.sprintf "queued value %d still alive" i)
+      true (Weak.check w i)
+  done;
+  (* Keep the queue itself live across the major collection above — only
+     the popped entries may be reclaimed. *)
+  Alcotest.(check int) "four still queued" 4 (Pqueue.length q)
+
 (* {1 Table} *)
 
 let test_table_render () =
@@ -490,6 +519,8 @@ let () =
           Alcotest.test_case "peek keeps element" `Quick test_pqueue_peek_keeps;
           Alcotest.test_case "interleaved push/pop" `Quick test_pqueue_interleaved;
           QCheck_alcotest.to_alcotest test_pqueue_qcheck_sorted;
+          Alcotest.test_case "pop releases popped values" `Quick
+            test_pqueue_pop_releases;
         ] );
       ( "table",
         [
