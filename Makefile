@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test ci bench bench-fast bench-placement examples doc clean
+.PHONY: all build test ci bench bench-fast bench-placement bench-enforce examples doc clean
 
 all: build
 
@@ -37,6 +37,12 @@ bench-fast:
 # compare against the committed BENCH_pr3.json baseline.
 bench-placement:
 	dune exec bench/main.exe -- $(JOBS_FLAG) placement --metrics-out BENCH_placement.json
+
+# Enforcement control-loop benchmark only (10k+ flows, epoch-compiled
+# engine vs per-period reference loop); writes a metrics document to
+# compare against the committed BENCH_pr4.json baseline.
+bench-enforce:
+	dune exec bench/main.exe -- $(JOBS_FLAG) enforce --metrics-out BENCH_enforce.json
 
 examples:
 	dune exec examples/quickstart.exe

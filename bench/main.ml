@@ -29,7 +29,7 @@ let requested : string list ref = ref []
 let params = ref E.default_params
 let metrics_out : string option ref = ref None
 
-let known_sections = E.section_names @ [ "placement"; "runtime" ]
+let known_sections = E.section_names @ [ "placement"; "enforce"; "runtime" ]
 
 let usage oc =
   Printf.fprintf oc
@@ -206,6 +206,128 @@ let placement_bench () =
     ];
   Table.print t
 
+(* Enforcement control-loop benchmark: one big two-tier tenant with
+   every src VM talking to every dst VM (10k+ concurrent flows over
+   3-link paths), driven for a fixed number of control periods.  The
+   epoch-compiled array engine (Runtime.run) races the pre-optimisation
+   per-period list/Hashtbl loop (Runtime.Reference.step); both produce
+   identical throughputs on a fixed flow set, so the speedup is pure
+   engine overhead.  Results are exported as [bench.enforce.*] gauges
+   (see BENCH_pr4.json). *)
+let g_enf_flows = Metrics.gauge "bench.enforce.flows"
+let g_enf_links = Metrics.gauge "bench.enforce.links"
+let g_enf_periods = Metrics.gauge "bench.enforce.periods"
+let g_enf_new_us = Metrics.gauge "bench.enforce.period_us_new"
+let g_enf_ref_us = Metrics.gauge "bench.enforce.period_us_reference"
+let g_enf_speedup = Metrics.gauge "bench.enforce.speedup"
+
+let enforce_bench () =
+  let module Runtime = Cm_enforce.Runtime in
+  let module Elastic = Cm_enforce.Elastic in
+  let module Maxmin = Cm_enforce.Maxmin in
+  let n_src = 128 and n_dst = 80 in
+  let src_racks = 32 and cores = 16 and dst_racks = 32 in
+  let periods = 50 in
+  let tag =
+    Cm_tag.Tag.create ~name:"bench-enforce"
+      ~components:[ ("front", n_src); ("back", n_dst) ]
+      ~edges:[ (0, 1, 1000., 1000.) ]
+      ()
+  in
+  (* Flow (i, j): rack uplink, a core link, destination rack downlink. *)
+  let flows =
+    List.concat
+      (List.init n_src (fun i ->
+           List.init n_dst (fun j ->
+               {
+                 Runtime.pair =
+                   {
+                     Elastic.src = { Elastic.comp = 0; vm = i };
+                     dst = { Elastic.comp = 1; vm = j };
+                   };
+                 path =
+                   [
+                     i mod src_racks;
+                     src_racks + ((i + j) mod cores);
+                     src_racks + cores + (j mod dst_racks);
+                   ];
+                 demand = infinity;
+               })))
+  in
+  let n_flows = List.length flows in
+  let links =
+    List.init
+      (src_racks + cores + dst_racks)
+      (fun id ->
+        let capacity = if id >= src_racks && id < src_racks + cores then 40_000. else 10_000. in
+        { Maxmin.link_id = id; capacity })
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let best f =
+    let w = ref infinity and res = ref None in
+    for _ = 1 to 3 do
+      let wall, r = time f in
+      if wall < !w then begin
+        w := wall;
+        res := Some r
+      end
+    done;
+    (!w, Option.get !res)
+  in
+  let new_wall, new_rates =
+    best (fun () ->
+        let rt = Runtime.create ~tag ~enforcement:Elastic.Tag_gp ~links () in
+        Runtime.run rt ~flows ~periods)
+  in
+  let ref_wall, ref_rates =
+    best (fun () ->
+        let st =
+          Runtime.Reference.create ~tag ~enforcement:Elastic.Tag_gp ~links ()
+        in
+        let last = ref [] in
+        for _ = 1 to periods do
+          last := Runtime.Reference.step st ~flows
+        done;
+        !last)
+  in
+  let max_diff =
+    List.fold_left2
+      (fun acc (_, a) (_, b) -> Float.max acc (Float.abs (a -. b)))
+      0. new_rates ref_rates
+  in
+  let new_us = 1e6 *. new_wall /. float_of_int periods in
+  let ref_us = 1e6 *. ref_wall /. float_of_int periods in
+  let speedup = ref_us /. new_us in
+  Metrics.set g_enf_flows (float_of_int n_flows);
+  Metrics.set g_enf_links (float_of_int (List.length links));
+  Metrics.set g_enf_periods (float_of_int periods);
+  Metrics.set g_enf_new_us new_us;
+  Metrics.set g_enf_ref_us ref_us;
+  Metrics.set g_enf_speedup speedup;
+  let t =
+    Table.create
+      ~caption:
+        (Printf.sprintf
+           "Enforcement control loop: %d backlogged flows (%dx%d all-pairs \
+            trunk) over %d links, %d control periods; epoch-compiled array \
+            engine vs per-period list/Hashtbl reference (best of 3)"
+           n_flows n_src n_dst (List.length links) periods)
+      [ ("metric", Table.Left); ("value", Table.Right) ]
+  in
+  Table.add_row t [ "flows"; string_of_int n_flows ];
+  Table.add_row t [ "links"; string_of_int (List.length links) ];
+  Table.add_row t [ "control periods"; string_of_int periods ];
+  Table.add_row t [ "period (new engine)"; Printf.sprintf "%.0f us" new_us ];
+  Table.add_row t [ "period (reference)"; Printf.sprintf "%.0f us" ref_us ];
+  Table.add_row t [ "speedup"; Printf.sprintf "%.1fx" speedup ];
+  Table.add_row t
+    [ "max |rate diff| (Mbps)"; Printf.sprintf "%.3g" max_diff ];
+  Table.print t
+
 (* Bechamel microbenchmarks of the placement algorithms: each benchmarked
    function places one tenant on a warm datacenter and releases it. *)
 let runtime_bechamel () =
@@ -333,6 +455,7 @@ let () =
     (fun (name, run) -> section name (fun () -> print_tables (run ())))
     (E.sections ~params:(p ()));
   section "placement" (fun () -> Span.with_ "section.placement" placement_bench);
+  section "enforce" (fun () -> Span.with_ "section.enforce" enforce_bench);
   section "runtime" (fun () -> Span.with_ "section.runtime" runtime_bechamel);
   (match !metrics_out with Some path -> write_metrics path | None -> ());
   print_newline ()

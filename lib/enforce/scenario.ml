@@ -42,6 +42,80 @@ let fig13_point enforcement ~n_senders =
 let fig13 enforcement ~max_senders =
   List.init (max_senders + 1) (fun n -> fig13_point enforcement ~n_senders:n)
 
+(* {1 Enforcement under churn} *)
+
+type churn_point = {
+  epoch : int;
+  active_senders : int;
+  steady_x : float;
+  periods : int;
+  converged : bool;
+}
+
+type churn_result = {
+  enforcement : Elastic.enforcement;
+  points : churn_point list;
+  x_mean : float;
+  x_min : float;
+  guarantee_met : float;
+  converged_fraction : float;
+  mean_periods : float;
+}
+
+let x_guarantee = 450.
+
+let churn ?eps ?max_periods ?(n_senders = 5) ?(p_active = 0.5) ~seed ~epochs
+    enforcement =
+  if epochs <= 0 then invalid_arg "Scenario.churn: epochs must be positive";
+  let tag = Examples.fig13 () in
+  let rng = Cm_util.Rng.create seed in
+  let x = { Elastic.comp = 0; vm = 0 } in
+  let z = { Elastic.comp = 1; vm = 0 } in
+  let x_pair = { Elastic.src = x; dst = z } in
+  let flow pair = { Runtime.pair; path = [ bottleneck_link ]; demand = infinity } in
+  (* The arrival/departure schedule: X -> Z is always on; each C2 sender
+     flaps independently per epoch (drawn in a fixed epoch-major order so
+     the trace is a pure function of [seed]). *)
+  let schedule =
+    List.init epochs (fun _ ->
+        flow x_pair
+        :: List.concat
+             (List.init n_senders (fun i ->
+                  if Cm_util.Rng.uniform rng < p_active then
+                    [ flow { Elastic.src = { Elastic.comp = 1; vm = i + 1 }; dst = z } ]
+                  else [])))
+  in
+  let rt =
+    Runtime.create ~tag ~enforcement
+      ~links:[ { Maxmin.link_id = bottleneck_link; capacity = 1000. } ]
+      ()
+  in
+  let r = Runtime.run_dynamic ?eps ?max_periods rt ~epochs:schedule in
+  let points =
+    List.map
+      (fun (e : Runtime.epoch_report) ->
+        {
+          epoch = e.epoch;
+          active_senders = e.n_flows - 1;
+          steady_x = Runtime.throughput_of e.steady x_pair;
+          periods = e.periods;
+          converged = e.converged;
+        })
+      r.epochs
+  in
+  let k = float_of_int (List.length points) in
+  let sum f = List.fold_left (fun acc p -> acc +. f p) 0. points in
+  {
+    enforcement;
+    points;
+    x_mean = sum (fun p -> p.steady_x) /. k;
+    x_min = List.fold_left (fun acc p -> Float.min acc p.steady_x) infinity points;
+    guarantee_met =
+      sum (fun p -> if p.steady_x >= x_guarantee -. 1e-6 then 1. else 0.) /. k;
+    converged_fraction = sum (fun p -> if p.converged then 1. else 0.) /. k;
+    mean_periods = sum (fun p -> float_of_int p.periods) /. k;
+  }
+
 type fig4_result = { web_to_logic : float; db_to_logic : float }
 
 let fig4 enforcement =

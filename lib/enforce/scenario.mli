@@ -14,6 +14,47 @@ val fig13 : Elastic.enforcement -> max_senders:int -> fig13_point list
     backlogged.  With [Tag_gp] the X->Z throughput stays at >= 450 as C2
     senders are added; with [Hose_gp] it collapses. *)
 
+(** {1 Enforcement under churn (§5.2, dynamic)} *)
+
+type churn_point = {
+  epoch : int;
+  active_senders : int;  (** C2 senders active in this epoch. *)
+  steady_x : float;  (** Steady-state X->Z throughput (Mbps). *)
+  periods : int;  (** Control periods until convergence detection. *)
+  converged : bool;
+}
+
+type churn_result = {
+  enforcement : Elastic.enforcement;
+  points : churn_point list;  (** One per epoch, in schedule order. *)
+  x_mean : float;  (** Mean steady X->Z over all epochs. *)
+  x_min : float;  (** Worst steady X->Z. *)
+  guarantee_met : float;
+      (** Fraction of epochs whose steady X->Z meets the 450 Mbps trunk
+          guarantee. *)
+  converged_fraction : float;
+  mean_periods : float;  (** Mean control periods per epoch. *)
+}
+
+val churn :
+  ?eps:float ->
+  ?max_periods:int ->
+  ?n_senders:int ->
+  ?p_active:float ->
+  seed:int ->
+  epochs:int ->
+  Elastic.enforcement ->
+  churn_result
+(** The Fig. 13 scenario made dynamic: X -> Z is always active while each
+    of [n_senders] (default 5) C2 senders independently joins or leaves
+    per epoch with probability [p_active] (default 0.5), a seeded
+    arrival/departure trace driven through {!Runtime.run_dynamic} on one
+    persistent runtime (limiter state carries across epochs).  With
+    [Tag_gp] every epoch's steady X->Z stays at or above the 450 Mbps
+    trunk guarantee; with [Hose_gp] it collapses whenever enough senders
+    are active — the per-trunk vs aggregate-hose comparison of §5 under
+    churn. *)
+
 type fig4_result = {
   web_to_logic : float;  (** Aggregate web-tier throughput into logic. *)
   db_to_logic : float;

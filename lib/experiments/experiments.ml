@@ -572,6 +572,46 @@ let fig13 () =
     tag_points hose_points;
   t
 
+let enforce_churn ~seed =
+  let epochs = 40 in
+  let t =
+    Table.create
+      ~caption:
+        (Printf.sprintf
+           "Enforcement under churn (Sec. 5.2, dynamic): Fig. 13 scenario \
+            with 5 C2 senders flapping per epoch (p=0.5, %d epochs, seed \
+            %d), control loop run to convergence per epoch; steady X->Z vs \
+            the 450 Mbps trunk guarantee"
+           epochs seed)
+      [
+        ("enforcement", Table.Left);
+        ("epochs", Table.Right);
+        ("converged", Table.Right);
+        ("mean periods", Table.Right);
+        ("mean X->Z", Table.Right);
+        ("min X->Z", Table.Right);
+        ("guarantee met", Table.Right);
+      ]
+  in
+  (* Both rows rebuild the identical seeded churn trace, so the TAG and
+     hose rows face the same arrival/departure schedule and the sweep
+     fans out over the domain pool deterministically. *)
+  Par.map
+    (fun e ->
+      let r = Scenario.churn ~seed ~epochs e in
+      [
+        Elastic.enforcement_to_string e;
+        string_of_int (List.length r.points);
+        Printf.sprintf "%.0f%%" (100. *. r.converged_fraction);
+        Printf.sprintf "%.1f" r.mean_periods;
+        Printf.sprintf "%.0f" r.x_mean;
+        Printf.sprintf "%.0f" r.x_min;
+        Printf.sprintf "%.0f%%" (100. *. r.guarantee_met);
+      ])
+    [ Elastic.Tag_gp; Elastic.Hose_gp ]
+  |> List.iter (Table.add_row t);
+  t
+
 (* {1 TAG inference} *)
 
 type ami_summary = {
@@ -1087,6 +1127,7 @@ let sections ~params:p =
     ( "fig12-tor",
       one (fun () -> fig12 ~laa_level:1 p ~bmaxes:[ 600.; 800.; 1000. ]) );
     ("fig13", one fig13);
+    ("enforce-churn", one (fun () -> enforce_churn ~seed:p.seed));
     ("e2e", one (fun () -> end_to_end ~seed:p.seed ~bmax:p.bmax));
     ("profiles", one (fun () -> profiles ~seed:p.seed));
     ("prediction", one (fun () -> prediction ~seed:p.seed));

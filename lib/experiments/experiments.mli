@@ -86,6 +86,13 @@ val fig13 : unit -> Cm_util.Table.t
 (** Fig. 13: X->Z and intra-tier throughput vs number of C2 senders,
     under TAG and (for contrast) hose enforcement. *)
 
+val enforce_churn : seed:int -> Cm_util.Table.t
+(** Fig. 13 under churn: a seeded arrival/departure trace of C2 senders
+    driven through {!Cm_enforce.Runtime.run_dynamic}, comparing per-trunk
+    (TAG) against aggregate-hose guarantee partitioning — steady X->Z,
+    convergence rate, and the fraction of epochs meeting the 450 Mbps
+    trunk guarantee. *)
+
 (** {1 TAG inference (§3)} *)
 
 type ami_summary = {

@@ -68,6 +68,20 @@ let exhaustive tree tenants ~laa_level =
 
 let random rng tree tenants ~laa_level ~n =
   if n <= 0 then invalid_arg "Failure.random: n must be positive";
-  let candidates = Tree.nodes_at_level tree laa_level in
-  let domains = List.init n (fun _ -> Cm_util.Rng.pick rng candidates) in
-  inject tree tenants ~laa_level ~domains
+  (* Sample without replacement: a duplicate domain would count twice in
+     [mean_survival] and waste a trial.  Partial Fisher-Yates over a copy
+     of the candidate list, [n] clamped to the candidate count; the drawn
+     set is sorted so the injection order (and the float summation order
+     behind [mean_survival]) is independent of the sampling order — with
+     [n = |candidates|] the result equals {!exhaustive} exactly. *)
+  let candidates = Array.copy (Tree.nodes_at_level tree laa_level) in
+  let k = min n (Array.length candidates) in
+  for i = 0 to k - 1 do
+    let j = i + Cm_util.Rng.int rng (Array.length candidates - i) in
+    let tmp = candidates.(i) in
+    candidates.(i) <- candidates.(j);
+    candidates.(j) <- tmp
+  done;
+  let domains = Array.sub candidates 0 k in
+  Array.sort compare domains;
+  inject tree tenants ~laa_level ~domains:(Array.to_list domains)

@@ -48,4 +48,7 @@ val random :
   laa_level:int ->
   n:int ->
   result
-(** Inject [n] uniformly-sampled fault domains. *)
+(** Inject [n] distinct fault domains, drawn uniformly {e without}
+    replacement ([n] is clamped to the number of domains at the level,
+    so [n >= |domains|] degenerates to {!exhaustive}).  [n] must be
+    positive. *)

@@ -397,7 +397,302 @@ let test_runtime_hose_still_fails () =
     (Printf.sprintf "hose X %.0f < 300" x)
     true (x < 300.)
 
+(* {1 Limiter persistence (regression)} *)
+
+let sender_flow i =
+  { Runtime.pair = { Elastic.src = ep 1 i; dst = ep 1 0 };
+    path = [ 0 ]; demand = infinity }
+
+let test_runtime_limiter_survives_absence () =
+  (* A pair absent for one epoch resumes near its decayed previous rate
+     instead of restarting from its guarantee.  Pre-PR the per-period
+     [Hashtbl.reset] dropped every absent pair's limiter, so X came back
+     at its 450 Mbps guarantee rather than ~0.9 x its earned ~1000. *)
+  let rt = fig13_runtime () in
+  ignore (Runtime.run rt ~flows:(fig13_flows 0) ~periods:40);
+  (* X departs for one control period; an intra-tier sender keeps the
+     loop running. *)
+  ignore (Runtime.step rt ~flows:[ sender_flow 1 ]);
+  let back = Runtime.step rt ~flows:(fig13_flows 0) in
+  let x = Runtime.throughput_of back x_pair in
+  Alcotest.(check bool)
+    (Printf.sprintf "first period back at %.0f >= 600 (not 450)" x)
+    true (x >= 600.)
+
+let test_runtime_long_absence_decays_to_guarantee () =
+  (* The same pair absent for many periods has its limiter fade away:
+     re-admission starts from the guarantee again (no stale state). *)
+  let rt = fig13_runtime () in
+  ignore (Runtime.run rt ~flows:(fig13_flows 0) ~periods:40);
+  for _ = 1 to 200 do
+    ignore (Runtime.step rt ~flows:[ sender_flow 1 ])
+  done;
+  let back = Runtime.step rt ~flows:(fig13_flows 0) in
+  let x = Runtime.throughput_of back x_pair in
+  Alcotest.(check bool)
+    (Printf.sprintf "after long absence %.0f starts near guarantee" x)
+    true
+    (x <= 450. +. 1e-6)
+
+(* {1 Headroom consistency (regression)} *)
+
+let test_runtime_headroom_consistent () =
+  (* Congestion signal and loss model must use the same effective
+     capacity.  Pre-PR the congestion test used cap * (1 - headroom) but
+     the loss model the raw capacity, so reported throughput could sit in
+     the headroom band (up to ~795 here). *)
+  let config = { Runtime.default_config with headroom = 0.25 } in
+  let rt =
+    Runtime.create ~config ~tag:(Cm_tag.Examples.fig13 ())
+      ~enforcement:Elastic.Tag_gp ~links:[ link 0 1000. ] ()
+  in
+  let flows = [ { Runtime.pair = x_pair; path = [ 0 ]; demand = 800. } ] in
+  ignore (Runtime.run rt ~flows ~periods:30);
+  let max_x = ref 0. in
+  for _ = 1 to 10 do
+    max_x :=
+      Float.max !max_x (Runtime.throughput_of (Runtime.step rt ~flows) x_pair)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %.1f <= effective capacity 750" !max_x)
+    true
+    (!max_x <= 750. +. 1e-6)
+
+(* {1 Epoch engine vs reference loop (differential)} *)
+
+let diff_links = [ link 0 1000.; link 1 800. ]
+
+let diff_flows =
+  { Runtime.pair = x_pair; path = [ 0; 1 ]; demand = infinity }
+  :: List.mapi
+       (fun i d ->
+         { Runtime.pair = { Elastic.src = ep 1 (i + 1); dst = ep 1 0 };
+           path = [ 1 ]; demand = d })
+       [ infinity; 300.; 120. ]
+
+let test_runtime_matches_reference () =
+  (* On a fixed flow set the compiled engine replays the reference
+     loop's float operations in the same order: bit-identical rates,
+     including at headroom > 0 and with demand-capped flows. *)
+  let config = { Runtime.default_config with headroom = 0.1 } in
+  let mk () = (Cm_tag.Examples.fig13 (), Elastic.Tag_gp) in
+  let tag, enf = mk () in
+  let rt = Runtime.create ~config ~tag ~enforcement:enf ~links:diff_links () in
+  let st =
+    Runtime.Reference.create ~config ~tag ~enforcement:enf ~links:diff_links ()
+  in
+  let a = Runtime.run rt ~flows:diff_flows ~periods:37 in
+  let b = ref [] in
+  for _ = 1 to 37 do
+    b := Runtime.Reference.step st ~flows:diff_flows
+  done;
+  List.iter2
+    (fun (p, ra) ((q : Elastic.active_pair), rb) ->
+      Alcotest.(check bool) "same pair order" true (p = q);
+      Alcotest.(check (float 0.)) "bit-identical rate" rb ra)
+    a !b
+
+let test_runtime_step_loop_matches_run () =
+  (* Stepping period by period (recompiling every period, limiters
+     persisted through the hash table) is bit-identical to the compiled
+     epoch run. *)
+  let tag = Cm_tag.Examples.fig13 () in
+  let rt1 =
+    Runtime.create ~tag ~enforcement:Elastic.Tag_gp ~links:diff_links ()
+  in
+  let rt2 =
+    Runtime.create ~tag ~enforcement:Elastic.Tag_gp ~links:diff_links ()
+  in
+  let a = Runtime.run rt1 ~flows:diff_flows ~periods:25 in
+  let b = ref [] in
+  for _ = 1 to 25 do
+    b := Runtime.step rt2 ~flows:diff_flows
+  done;
+  List.iter2
+    (fun (_, ra) (_, rb) ->
+      Alcotest.(check (float 0.)) "step loop = compiled run" rb ra)
+    a !b
+
+(* {1 Dynamic driver (run_dynamic)} *)
+
+(* The steady-state oracle, recomputed independently of the runtime:
+   ElasticSwitch GP guarantees, then guarantee-aware max-min over the
+   link capacities. *)
+let steady_oracle ?(links = [ link 0 1000. ]) tag enforcement flows =
+  let pairs = List.map (fun (f : Runtime.flow_spec) -> f.pair) flows in
+  let demands = List.map (fun (f : Runtime.flow_spec) -> f.demand) flows in
+  let gs = Elastic.pair_guarantees ~demands tag enforcement ~pairs in
+  let mflows =
+    List.mapi
+      (fun i ((f : Runtime.flow_spec), (_, g)) ->
+        { Maxmin.flow_id = i; path = f.path; demand = f.demand; guarantee = g })
+      (List.combine flows gs)
+  in
+  Maxmin.with_guarantees ~links ~flows:mflows
+
+let test_run_dynamic_steady_matches_oracle () =
+  (* Acceptance: steady-state allocations match the Maxmin oracle
+     bit-for-bit, for every fig13 population under both GP modes. *)
+  let tag = Cm_tag.Examples.fig13 () in
+  List.iter
+    (fun enf ->
+      for k = 0 to 5 do
+        let flows = fig13_flows k in
+        let rt =
+          Runtime.create ~tag ~enforcement:enf ~links:[ link 0 1000. ] ()
+        in
+        let r = Runtime.run_dynamic rt ~epochs:[ flows ] in
+        let oracle = steady_oracle tag enf flows in
+        List.iteri
+          (fun i (_, rate) ->
+            Alcotest.(check (float 0.))
+              (Printf.sprintf "%s k=%d flow %d"
+                 (Elastic.enforcement_to_string enf)
+                 k i)
+              (snd oracle.(i))
+              rate)
+          r.rates
+      done)
+    [ Elastic.Tag_gp; Elastic.Hose_gp ]
+
+let test_run_dynamic_converges () =
+  let rt = fig13_runtime () in
+  let r =
+    Runtime.run_dynamic rt
+      ~epochs:[ fig13_flows 3; fig13_flows 5; fig13_flows 1 ]
+  in
+  Alcotest.(check int) "three epoch reports" 3 (List.length r.epochs);
+  List.iter
+    (fun (e : Runtime.epoch_report) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "epoch %d converged in %d periods" e.epoch e.periods)
+        true
+        (e.converged && e.periods < 512);
+      Alcotest.(check bool)
+        (Printf.sprintf "epoch %d residual %.4f below eps" e.epoch e.residual)
+        true (e.residual < 0.02))
+    r.epochs;
+  Alcotest.(check int) "total periods = sum over epochs"
+    (List.fold_left (fun a (e : Runtime.epoch_report) -> a + e.periods) 0 r.epochs)
+    r.total_periods
+
+let test_run_dynamic_static_short_circuit () =
+  (* Every flow demand-capped far below congestion: rates are exactly
+     static, detected within a few periods rather than a full window. *)
+  let rt = fig13_runtime () in
+  let flows =
+    [
+      { Runtime.pair = x_pair; path = [ 0 ]; demand = 100. };
+      { Runtime.pair = { Elastic.src = ep 1 1; dst = ep 1 0 };
+        path = [ 0 ]; demand = 50. };
+    ]
+  in
+  let r = Runtime.run_dynamic rt ~epochs:[ flows ] in
+  let e = List.hd r.epochs in
+  Alcotest.(check bool)
+    (Printf.sprintf "static epoch detected in %d <= 8 periods" e.periods)
+    true
+    (e.converged && e.periods <= 8);
+  Alcotest.(check (float 1e-9)) "steady X = demand" 100.
+    (Runtime.throughput_of r.rates x_pair)
+
+let test_run_dynamic_empty_epoch () =
+  let rt = fig13_runtime () in
+  let r = Runtime.run_dynamic rt ~epochs:[ []; fig13_flows 1 ] in
+  let e0 = List.hd r.epochs in
+  Alcotest.(check int) "empty epoch runs no periods" 0 e0.periods;
+  Alcotest.(check bool) "empty epoch converged" true e0.converged;
+  Alcotest.(check int) "empty steady" 0 (List.length e0.steady);
+  Alcotest.(check int) "second epoch reported" 2 (List.length r.epochs)
+
+let test_run_dynamic_telemetry () =
+  let epochs_c = Cm_obs.Metrics.counter "enforce.epochs" in
+  let conv_c = Cm_obs.Metrics.counter "enforce.epochs.converged" in
+  let before = Cm_obs.Metrics.counter_value epochs_c in
+  let before_conv = Cm_obs.Metrics.counter_value conv_c in
+  let rt = fig13_runtime () in
+  let r = Runtime.run_dynamic rt ~epochs:[ fig13_flows 2; fig13_flows 4 ] in
+  Alcotest.(check int) "epoch counter advanced" (before + 2)
+    (Cm_obs.Metrics.counter_value epochs_c);
+  let conv =
+    List.length
+      (List.filter (fun (e : Runtime.epoch_report) -> e.converged) r.epochs)
+  in
+  Alcotest.(check int) "converged counter matches reports"
+    (before_conv + conv)
+    (Cm_obs.Metrics.counter_value conv_c)
+
+let test_run_dynamic_validates_args () =
+  let rt = fig13_runtime () in
+  Alcotest.check_raises "eps" (Invalid_argument "") (fun () ->
+      try ignore (Runtime.run_dynamic ~eps:0. rt ~epochs:[])
+      with Invalid_argument _ -> raise (Invalid_argument ""));
+  Alcotest.check_raises "max_periods" (Invalid_argument "") (fun () ->
+      try ignore (Runtime.run_dynamic ~max_periods:0 rt ~epochs:[])
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+(* {1 Churn scenario} *)
+
+let test_churn_tag_meets_guarantee () =
+  let r = Scenario.churn ~seed:7 ~epochs:12 Elastic.Tag_gp in
+  Alcotest.(check int) "one point per epoch" 12 (List.length r.points);
+  Alcotest.(check (float 1e-9)) "every epoch meets 450" 1. r.guarantee_met;
+  Alcotest.(check bool)
+    (Printf.sprintf "worst epoch %.0f >= 450" r.x_min)
+    true
+    (r.x_min >= 450. -. 1e-6)
+
+let test_churn_hose_fails () =
+  let r = Scenario.churn ~seed:7 ~epochs:12 Elastic.Hose_gp in
+  Alcotest.(check bool)
+    (Printf.sprintf "hose meets guarantee in only %.0f%%, min %.0f"
+       (100. *. r.guarantee_met) r.x_min)
+    true
+    (r.guarantee_met < 1. && r.x_min < 450.)
+
 (* {1 Properties} *)
+
+let prop_dynamic_steady_is_maxmin =
+  (* Seeded end-to-end property: for arbitrary demand vectors the dynamic
+     driver's steady state IS the guarantee-aware max-min oracle —
+     guarantee floor respected, link never oversubscribed, work
+     conserving (X is backlogged, so the bottleneck saturates). *)
+  QCheck.Test.make ~name:"run_dynamic steady state = max-min oracle" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 5) (float_range 10. 1500.))
+    (fun demands ->
+      let tag = Cm_tag.Examples.fig13 () in
+      let flows =
+        { Runtime.pair = x_pair; path = [ 0 ]; demand = infinity }
+        :: List.mapi
+             (fun i d ->
+               { Runtime.pair = { Elastic.src = ep 1 (i + 1); dst = ep 1 0 };
+                 path = [ 0 ]; demand = d })
+             demands
+      in
+      let rt =
+        Runtime.create ~tag ~enforcement:Elastic.Tag_gp
+          ~links:[ link 0 1000. ] ()
+      in
+      let r = Runtime.run_dynamic rt ~epochs:[ flows ] in
+      let oracle = steady_oracle tag Elastic.Tag_gp flows in
+      let gs =
+        Elastic.pair_guarantees
+          ~demands:(List.map (fun (f : Runtime.flow_spec) -> f.demand) flows)
+          tag Elastic.Tag_gp
+          ~pairs:(List.map (fun (f : Runtime.flow_spec) -> f.pair) flows)
+      in
+      let floors =
+        List.map2
+          (fun (f : Runtime.flow_spec) (_, g) -> Float.min f.demand g)
+          flows gs
+      in
+      let total = List.fold_left (fun acc (_, x) -> acc +. x) 0. r.rates in
+      List.for_all2
+        (fun (_, rate) (_, o) -> rate = o)
+        r.rates (Array.to_list oracle)
+      && List.for_all2 (fun (_, rate) fl -> rate +. 1e-6 >= fl) r.rates floors
+      && total <= 1000. +. 1e-6
+      && total >= 1000. -. 1e-6)
 
 let prop_maxmin_respects_capacity =
   QCheck.Test.make ~name:"max-min never exceeds link capacity" ~count:200
@@ -478,8 +773,40 @@ let () =
           Alcotest.test_case "hose still fails" `Quick test_runtime_hose_still_fails;
           Alcotest.test_case "flow set changes" `Quick test_runtime_flow_set_changes;
           Alcotest.test_case "unknown link" `Quick test_runtime_unknown_link_rejected;
+          Alcotest.test_case "limiter survives absence" `Quick
+            test_runtime_limiter_survives_absence;
+          Alcotest.test_case "long absence decays" `Quick
+            test_runtime_long_absence_decays_to_guarantee;
+          Alcotest.test_case "headroom consistent" `Quick
+            test_runtime_headroom_consistent;
+          Alcotest.test_case "matches reference loop" `Quick
+            test_runtime_matches_reference;
+          Alcotest.test_case "step loop = compiled run" `Quick
+            test_runtime_step_loop_matches_run;
+        ] );
+      ( "run_dynamic",
+        [
+          Alcotest.test_case "steady = Maxmin oracle" `Quick
+            test_run_dynamic_steady_matches_oracle;
+          Alcotest.test_case "converges" `Quick test_run_dynamic_converges;
+          Alcotest.test_case "static short-circuit" `Quick
+            test_run_dynamic_static_short_circuit;
+          Alcotest.test_case "empty epoch" `Quick test_run_dynamic_empty_epoch;
+          Alcotest.test_case "telemetry" `Quick test_run_dynamic_telemetry;
+          Alcotest.test_case "argument validation" `Quick
+            test_run_dynamic_validates_args;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "TAG meets guarantee" `Quick
+            test_churn_tag_meets_guarantee;
+          Alcotest.test_case "hose fails" `Quick test_churn_hose_fails;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_maxmin_respects_capacity; prop_guarantees_always_met ] );
+          [
+            prop_maxmin_respects_capacity;
+            prop_guarantees_always_met;
+            prop_dynamic_steady_is_maxmin;
+          ] );
     ]

@@ -80,6 +80,15 @@ let test_fig13 () =
   Alcotest.(check bool) "tag value" true (contains s "467");
   Alcotest.(check bool) "hose value" true (contains s "167")
 
+let test_enforce_churn () =
+  let s = rendered (E.enforce_churn ~seed:3) in
+  Alcotest.(check bool) "TAG row" true (contains s "TAG");
+  Alcotest.(check bool) "hose row" true (contains s "hose");
+  (* TAG must meet the 450 Mbps trunk guarantee in every churn epoch;
+     the rendered row therefore ends with 100%. *)
+  Alcotest.(check bool) "TAG meets guarantee everywhere" true
+    (contains s "100%")
+
 let test_ami_summary () =
   let _, summary = E.ami ~seed:3 ~n:12 ~max_vms:120 () in
   Alcotest.(check bool) "some tenants" true (summary.n_tenants > 5);
@@ -148,6 +157,11 @@ let test_parallel_replicates_identical () =
   Alcotest.(check string) "replicates identical under --jobs 1 and --jobs 4"
     (with_jobs 1 sweep) (with_jobs 4 sweep)
 
+let test_parallel_enforce_churn_identical () =
+  let sweep () = rendered (E.enforce_churn ~seed:5) in
+  Alcotest.(check string) "enforce-churn identical under --jobs 1 and --jobs 4"
+    (with_jobs 1 sweep) (with_jobs 4 sweep)
+
 let () =
   Alcotest.run "cm_experiments"
     [
@@ -172,6 +186,7 @@ let () =
       ( "enforcement-and-inference",
         [
           Alcotest.test_case "fig13" `Quick test_fig13;
+          Alcotest.test_case "enforce churn" `Quick test_enforce_churn;
           Alcotest.test_case "ami" `Slow test_ami_summary;
           Alcotest.test_case "runtime probe" `Quick test_runtime_probe;
         ] );
@@ -190,5 +205,7 @@ let () =
             test_parallel_sweep_identical;
           Alcotest.test_case "replicates jobs-invariant" `Slow
             test_parallel_replicates_identical;
+          Alcotest.test_case "enforce-churn jobs-invariant" `Quick
+            test_parallel_enforce_churn_identical;
         ] );
     ]

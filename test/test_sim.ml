@@ -300,6 +300,43 @@ let test_failure_random_bounded_by_wcs () =
         o.predicted_wcs)
     r.outcomes
 
+let test_failure_random_full_sample_is_exhaustive () =
+  (* Sampling without replacement: drawing as many domains as exist must
+     inject each exactly once, i.e. reproduce the exhaustive sweep
+     bit-for-bit (pre-fix the draw was with replacement, so duplicates
+     skewed [mean_survival] and missed domains weakened
+     [worst_survival]). *)
+  let tree, tenants = deploy_some () in
+  let n = Tree.n_servers tree in
+  let rng = Cm_util.Rng.create 11 in
+  let r = Failure.random rng tree tenants ~laa_level:0 ~n in
+  let e = Failure.exhaustive tree tenants ~laa_level:0 in
+  Alcotest.(check int) "all domains injected" e.domains_failed r.domains_failed;
+  List.iter2
+    (fun (a : Failure.tenant_outcome) (b : Failure.tenant_outcome) ->
+      Alcotest.(check string) "tenant order" b.tenant_name a.tenant_name;
+      Array.iteri
+        (fun c v ->
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "%s worst comp %d" a.tenant_name c)
+            b.worst_survival.(c) v)
+        a.worst_survival;
+      Array.iteri
+        (fun c v ->
+          Alcotest.(check (float 0.))
+            (Printf.sprintf "%s mean comp %d" a.tenant_name c)
+            b.mean_survival.(c) v)
+        a.mean_survival)
+    r.outcomes e.outcomes
+
+let test_failure_random_clamps_n () =
+  (* Asking for more domains than exist clamps instead of double-counting. *)
+  let tree, tenants = deploy_some () in
+  let n = Tree.n_servers tree in
+  let rng = Cm_util.Rng.create 11 in
+  let r = Failure.random rng tree tenants ~laa_level:0 ~n:(3 * n) in
+  Alcotest.(check int) "clamped to domain count" n r.domains_failed
+
 let test_failure_rack_level () =
   (* A tenant packed into one rack has zero rack-level survivability. *)
   let tree = Tree.create small_spec in
@@ -358,6 +395,9 @@ let () =
             test_failure_exhaustive_matches_wcs;
           Alcotest.test_case "random bounded" `Quick
             test_failure_random_bounded_by_wcs;
+          Alcotest.test_case "full sample = exhaustive" `Quick
+            test_failure_random_full_sample_is_exhaustive;
+          Alcotest.test_case "n clamps" `Quick test_failure_random_clamps_n;
           Alcotest.test_case "rack level" `Quick test_failure_rack_level;
           Alcotest.test_case "direct survival" `Quick test_failure_survival_direct;
         ] );
