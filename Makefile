@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test ci bench bench-fast bench-placement bench-enforce examples doc clean
+.PHONY: all build test ci bench bench-fast bench-placement bench-enforce bench-inference examples doc clean
 
 all: build
 
@@ -43,6 +43,12 @@ bench-placement:
 # compare against the committed BENCH_pr4.json baseline.
 bench-enforce:
 	dune exec bench/main.exe -- $(JOBS_FLAG) enforce --metrics-out BENCH_enforce.json
+
+# Inference hot-path benchmark only (dense vs CSR clustering pipeline
+# race with a label-digest equality gate); writes a metrics document to
+# compare against the committed BENCH_pr5.json baseline.
+bench-inference:
+	dune exec bench/main.exe -- $(JOBS_FLAG) inference --metrics-out BENCH_inference.json
 
 examples:
 	dune exec examples/quickstart.exe

@@ -29,7 +29,8 @@ let requested : string list ref = ref []
 let params = ref E.default_params
 let metrics_out : string option ref = ref None
 
-let known_sections = E.section_names @ [ "placement"; "enforce"; "runtime" ]
+let known_sections =
+  E.section_names @ [ "placement"; "enforce"; "inference"; "runtime" ]
 
 let usage oc =
   Printf.fprintf oc
@@ -328,6 +329,131 @@ let enforce_bench () =
     [ "max |rate diff| (Mbps)"; Printf.sprintf "%.3g" max_diff ];
   Table.print t
 
+(* TAG-inference hot-path benchmark: an 8-tier pipeline tenant at
+   n ∈ {128, 512, 1024} VMs, traffic generated sparsely, then the
+   sparse clustering pipeline (mean_csr -> projection_csr ->
+   cluster_csr, i.e. CSR Louvain over the sparse projection) raced
+   against the dense reference pipeline (mean_matrix ->
+   projection_graph -> cluster) on the same traffic.  The two paths
+   are bit-identical by construction; the bench enforces it with a
+   label-digest gate and fails loudly on mismatch.  Results are
+   exported as [bench.inference.*] gauges (see BENCH_pr5.json); the
+   headline gauges (speedup, labels_match) are taken at the largest
+   size. *)
+let g_inf_n = Metrics.gauge "bench.inference.n_vms"
+let g_inf_nnz = Metrics.gauge "bench.inference.traffic_nnz"
+let g_inf_density = Metrics.gauge "bench.inference.traffic_density"
+let g_inf_dense_ms = Metrics.gauge "bench.inference.dense_ms"
+let g_inf_csr_ms = Metrics.gauge "bench.inference.csr_ms"
+let g_inf_speedup = Metrics.gauge "bench.inference.speedup"
+let g_inf_match = Metrics.gauge "bench.inference.labels_match"
+
+let inference_bench () =
+  let module Csr = Cm_util.Csr in
+  let module Tm = Cm_inference.Traffic_matrix in
+  let module Similarity = Cm_inference.Similarity in
+  let module Louvain = Cm_inference.Louvain in
+  let p = !params in
+  let pipeline_tag n =
+    let tiers = 8 in
+    let per = n / tiers in
+    let components =
+      List.init tiers (fun t -> (Printf.sprintf "tier%d" t, per))
+    in
+    let edges =
+      List.init (tiers - 1) (fun t -> (t, t + 1, 100., 100.))
+      @ [ (0, 0, 50., 50.) ]
+    in
+    Cm_tag.Tag.create ~name:(Printf.sprintf "bench-infer-%d" n) ~components
+      ~edges ()
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let best f =
+    let w = ref infinity and res = ref None in
+    for _ = 1 to 3 do
+      let wall, r = time f in
+      if wall < !w then begin
+        w := wall;
+        res := Some r
+      end
+    done;
+    (!w, Option.get !res)
+  in
+  let digest labels =
+    Array.fold_left (fun h l -> (h * 1_000_003) + l + 1) 17 labels
+  in
+  let t =
+    Table.create
+      ~caption:
+        (Printf.sprintf
+           "Inference hot path: VM clustering (mean -> similarity \
+            projection -> Louvain) of an 8-tier pipeline tenant (8 epochs, \
+            noise 0.005, seed %d); sparse CSR pipeline vs dense reference, \
+            identical labels enforced by digest (best of 3)"
+           p.seed)
+      [
+        ("VMs", Table.Right);
+        ("traffic nnz", Table.Right);
+        ("density", Table.Right);
+        ("dense (ms)", Table.Right);
+        ("CSR (ms)", Table.Right);
+        ("speedup", Table.Right);
+        ("labels", Table.Right);
+      ]
+  in
+  List.iter
+    (fun n ->
+      let rng = Cm_util.Rng.create (p.seed + n) in
+      let tm =
+        Span.with_ "inference.generate" (fun () ->
+            Tm.generate ~noise_prob:0.005 ~rng (pipeline_tag n))
+      in
+      let dense_wall, dense_labels =
+        best (fun () ->
+            Louvain.cluster (Similarity.projection_graph (Tm.mean_matrix tm)))
+      in
+      let csr_wall, csr_labels =
+        best (fun () ->
+            Louvain.cluster_csr (Similarity.projection_csr (Tm.mean_csr tm)))
+      in
+      let matches = digest dense_labels = digest csr_labels in
+      if not matches then
+        failwith
+          (Printf.sprintf
+             "bench inference: dense and CSR pipelines' labels diverge at \
+              n=%d"
+             n);
+      let nnz =
+        Array.fold_left (fun acc e -> acc + Csr.nnz e) 0 tm.Tm.epochs
+      in
+      let density =
+        float_of_int nnz /. float_of_int (n * n * Array.length tm.Tm.epochs)
+      in
+      let speedup = dense_wall /. csr_wall in
+      Metrics.set g_inf_n (float_of_int n);
+      Metrics.set g_inf_nnz (float_of_int nnz);
+      Metrics.set g_inf_density density;
+      Metrics.set g_inf_dense_ms (1e3 *. dense_wall);
+      Metrics.set g_inf_csr_ms (1e3 *. csr_wall);
+      Metrics.set g_inf_speedup speedup;
+      Metrics.set g_inf_match (if matches then 1. else 0.);
+      Table.add_row t
+        [
+          string_of_int n;
+          string_of_int nnz;
+          Printf.sprintf "%.1f%%" (100. *. density);
+          Printf.sprintf "%.2f" (1e3 *. dense_wall);
+          Printf.sprintf "%.2f" (1e3 *. csr_wall);
+          Printf.sprintf "%.1fx" speedup;
+          (if matches then "identical" else "DIVERGED");
+        ])
+    [ 128; 512; 1024 ];
+  Table.print t
+
 (* Bechamel microbenchmarks of the placement algorithms: each benchmarked
    function places one tenant on a warm datacenter and releases it. *)
 let runtime_bechamel () =
@@ -456,6 +582,8 @@ let () =
     (E.sections ~params:(p ()));
   section "placement" (fun () -> Span.with_ "section.placement" placement_bench);
   section "enforce" (fun () -> Span.with_ "section.enforce" enforce_bench);
+  section "inference" (fun () ->
+      Span.with_ "section.inference" inference_bench);
   section "runtime" (fun () -> Span.with_ "section.runtime" runtime_bechamel);
   (match !metrics_out with Some path -> write_metrics path | None -> ());
   print_newline ()

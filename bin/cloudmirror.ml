@@ -320,8 +320,9 @@ let run_infer example csv seed =
           in
           let r = Cm_inference.Infer.infer tm in
           Format.printf "ground truth:@.%a@." Tag.pp tag;
-          Format.printf "inferred (AMI %.2f):@.%a@." r.ami_vs_truth Tag.pp
-            r.inferred;
+          (match r.ami_vs_truth with
+          | Some a -> Format.printf "inferred (AMI %.2f):@.%a@." a Tag.pp r.inferred
+          | None -> Format.printf "inferred:@.%a@." Tag.pp r.inferred);
           `Ok ()
     end
 

@@ -51,7 +51,8 @@ let () =
   Printf.printf
     "inferred the legacy tenant's TAG from %d traffic epochs (AMI %.2f vs \
      hidden truth)\n"
-    (Array.length tm.epochs) inferred.ami_vs_truth;
+    (Array.length tm.epochs)
+    (Option.value ~default:Float.nan inferred.ami_vs_truth);
 
   (* Component 2: placement with reservations. *)
   let tenants =

@@ -37,7 +37,8 @@ let () =
 
   (* Infer. *)
   let r = Infer.infer tm in
-  Format.printf "inferred TAG (AMI vs truth = %.2f):@.%a@.@." r.ami_vs_truth
+  Format.printf "inferred TAG (AMI vs truth = %.2f):@.%a@.@."
+    (Option.value ~default:Float.nan r.ami_vs_truth)
     Tag.pp r.inferred;
 
   (* The inferred TAG is a regular TAG: deploy it. *)
@@ -54,15 +55,16 @@ let () =
   (* Statistical multiplexing: the TAG guarantee uses the peak of each
      aggregate, not the sum of per-pair peaks (what pipes would need). *)
   let sum_pair_peaks =
-    let acc = ref 0. in
-    for i = 0 to tm.n_vms - 1 do
-      for j = 0 to tm.n_vms - 1 do
-        let peak = ref 0. in
-        Array.iter (fun e -> peak := Float.max !peak e.(i).(j)) tm.epochs;
-        acc := !acc +. !peak
-      done
-    done;
-    !acc
+    (* Per-pair peak over epochs, folding stored cells only. *)
+    let peak = Array.make_matrix tm.n_vms tm.n_vms 0. in
+    Array.iter
+      (fun e ->
+        Cm_util.Csr.iter_nz e (fun i j v ->
+            peak.(i).(j) <- Float.max peak.(i).(j) v))
+      tm.epochs;
+    Array.fold_left
+      (fun acc row -> acc +. Array.fold_left ( +. ) 0. row)
+      0. peak
   in
   Printf.printf
     "\naggregate guarantee: inferred TAG %.0f Mbps vs %.0f Mbps if every \

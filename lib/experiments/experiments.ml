@@ -625,22 +625,29 @@ type ami_summary = {
 let ami ~seed ?(n = 80) ?(max_vms = max_int) () =
   let pool = Pool.bing_like ~n ~seed () in
   let rng = Rng.create (seed + 17) in
-  let samples = ref [] in
-  Array.iter
-    (fun tag ->
-      if Tag.total_vms tag > 1 && Tag.total_vms tag <= max_vms then begin
+  let eligible =
+    Array.to_list pool.tags
+    |> List.filter (fun tag ->
+           Tag.total_vms tag > 1 && Tag.total_vms tag <= max_vms)
+  in
+  (* One traffic RNG stream per tenant (split deterministically from
+     the section seed), so the fan-out over the domain pool is
+     jobs-invariant like every other section. *)
+  let samples =
+    Par.map_rng ~rng
+      (fun rng tag ->
         let tm =
           Cm_inference.Traffic_matrix.generate ~imbalance:0.9 ~noise_prob:0.05
             ~rng tag
         in
-        let r = Cm_inference.Infer.infer tm in
-        samples := (tag, r) :: !samples
-      end)
-    pool.tags;
-  let samples = List.rev !samples in
+        (tag, Cm_inference.Infer.infer tm))
+      eligible
+  in
   let amis =
     Array.of_list
-      (List.map (fun (_, (r : Cm_inference.Infer.result)) -> r.ami_vs_truth) samples)
+      (List.filter_map
+         (fun (_, (r : Cm_inference.Infer.result)) -> r.ami_vs_truth)
+         samples)
   in
   let summary =
     {
@@ -681,21 +688,24 @@ let ami ~seed ?(n = 80) ?(max_vms = max_int) () =
 
 let ami_sensitivity ~seed ?(n = 24) () =
   let pool = Pool.bing_like ~n ~seed () in
+  let eligible =
+    Array.to_list pool.Pool.tags
+    |> List.filter (fun tag ->
+           Tag.total_vms tag > 1 && Tag.total_vms tag <= 250)
+  in
   let mean_ami ~imbalance ~noise_prob ~resolution =
     let rng = Rng.create (seed + 31) in
-    let samples = ref [] in
-    Array.iter
-      (fun tag ->
-        if Tag.total_vms tag > 1 && Tag.total_vms tag <= 250 then begin
+    let samples =
+      Par.map_rng ~rng
+        (fun rng tag ->
           let tm =
-            Cm_inference.Traffic_matrix.generate ~imbalance
-              ~noise_prob ~rng tag
+            Cm_inference.Traffic_matrix.generate ~imbalance ~noise_prob ~rng
+              tag
           in
-          let r = Cm_inference.Infer.infer ~resolution tm in
-          samples := r.ami_vs_truth :: !samples
-        end)
-      pool.Pool.tags;
-    Stats.mean (Array.of_list !samples)
+          (Cm_inference.Infer.infer ~resolution tm).ami_vs_truth)
+        eligible
+    in
+    Stats.mean (Array.of_list (List.filter_map Fun.id samples))
   in
   let t =
     Table.create
@@ -712,8 +722,9 @@ let ami_sensitivity ~seed ?(n = 24) () =
       ]
   in
   (* Each setting reseeds its own traffic RNG and only reads the shared
-     (immutable) pool, so the whole sweep fans out over the domain
-     pool. *)
+     (immutable) pool.  Parallelism lives {e inside} [mean_ami] (one
+     stream per tenant), so the settings themselves run sequentially —
+     nesting [Par.map] would spawn domains from inside domains. *)
   let points =
     List.map
       (fun imbalance ->
@@ -734,7 +745,7 @@ let ami_sensitivity ~seed ?(n = 24) () =
             fun () -> mean_ami ~imbalance:0.9 ~noise_prob:0.05 ~resolution ))
         [ 0.5; 1.0; 2.0; 4.0 ]
   in
-  Par.map
+  List.map
     (fun (sweep, setting, run) -> [ sweep; setting; Printf.sprintf "%.2f" (run ()) ])
     points
   |> List.iter (Table.add_row t);

@@ -4,7 +4,12 @@ let counts_of labels =
     (fun l ->
       Hashtbl.replace tbl l (1 + Option.value ~default:0 (Hashtbl.find_opt tbl l)))
     labels;
-  Hashtbl.fold (fun _ n acc -> n :: acc) tbl [] |> Array.of_list
+  (* Sorted by label id, not Hashtbl order: these counts feed the
+     [expected_mi] float accumulation, which must not depend on hash
+     layout. *)
+  Hashtbl.fold (fun l n acc -> (l, n) :: acc) tbl []
+  |> List.sort compare
+  |> List.map snd |> Array.of_list
 
 let entropy labels =
   let n = Array.length labels in

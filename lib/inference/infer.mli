@@ -3,12 +3,21 @@
     communication patterns into components and derive trunk / self-loop
     guarantees from the peak aggregate component-to-component rates
     (peaks of sums, not sums of peaks — the statistical-multiplexing
-    saving the TAG model is designed to keep). *)
+    saving the TAG model is designed to keep).
+
+    The pipeline runs entirely on the sparse representation
+    ({!Traffic_matrix.mean_csr} → {!Similarity.projection_csr} →
+    {!Louvain.cluster_csr}) and emits [infer.*] {!Cm_obs.Span}s for the
+    mean / projection / clustering stages. *)
 
 type result = {
   labels : int array;  (** Inferred component of each VM. *)
   inferred : Cm_tag.Tag.t;  (** Reconstructed TAG. *)
-  ami_vs_truth : float;  (** Adjusted mutual information vs ground truth. *)
+  ami_vs_truth : float option;
+      (** Adjusted mutual information vs ground truth; [None] when the
+          matrix carries no truth labels (e.g. loaded via
+          {!Traffic_matrix.of_csv}), where a score against the zeroed
+          [truth] array would be meaningless. *)
   n_components : int;
 }
 
@@ -16,8 +25,7 @@ val infer : ?resolution:float -> Traffic_matrix.t -> result
 (** [resolution] is Louvain's gamma (default 1); larger values split
     more aggressively — useful when under-segmentation merges tiers. *)
 
-val guarantees_of_labels :
-  Traffic_matrix.t -> int array -> Cm_tag.Tag.t
+val guarantees_of_labels : Traffic_matrix.t -> int array -> Cm_tag.Tag.t
 (** Reconstruct a TAG from a given labelling: for each ordered component
     pair the trunk guarantee is the over-epochs peak of the aggregate
     rate, divided by the tier sizes into per-VM [<S, R>]; intra-component

@@ -1,18 +1,21 @@
-let degrees adj =
-  Array.map (fun row -> Array.fold_left ( +. ) 0. row) adj
+module Csr = Cm_util.Csr
 
+let degrees adj = Array.map (fun row -> Array.fold_left ( +. ) 0. row) adj
+
+(* Renumber labels (all in [0, n)) to 0..k-1 in first-appearance order. *)
 let renumber labels =
-  let mapping = Hashtbl.create 16 in
+  let n = Array.length labels in
+  let mapping = Array.make (max n 1) (-1) in
   let next = ref 0 in
   Array.map
     (fun l ->
-      match Hashtbl.find_opt mapping l with
-      | Some x -> x
-      | None ->
-          let x = !next in
-          Hashtbl.add mapping l x;
-          incr next;
-          x)
+      if mapping.(l) >= 0 then mapping.(l)
+      else begin
+        let x = !next in
+        mapping.(l) <- x;
+        incr next;
+        x
+      end)
     labels
 
 let modularity ?(resolution = 1.) adj labels =
@@ -31,13 +34,61 @@ let modularity ?(resolution = 1.) adj labels =
     !q /. m2
   end
 
-(* One local-moving pass; returns (labels, improved). *)
-let one_level ~resolution adj =
-  let n = Array.length adj in
-  let k = degrees adj in
+let modularity_csr ?(resolution = 1.) (adj : Csr.t) labels =
+  let n = adj.Csr.n in
+  let k = Csr.row_sums adj in
   let m2 = Array.fold_left ( +. ) 0. k in
-  let community = Array.init n Fun.id in
-  let sigma_tot = Array.copy k in
+  if m2 = 0. then 0.
+  else begin
+    (* Links inside communities, over stored entries only... *)
+    let intra = ref 0. in
+    Csr.iter_nz adj (fun i j v -> if labels.(i) = labels.(j) then intra := !intra +. v);
+    (* ...and the degree penalty via per-community degree sums:
+       sum_{labels i = labels j} k_i k_j = sum_c (sum_{i in c} k_i)^2. *)
+    let n_comm = 1 + Array.fold_left max 0 labels in
+    let s = Array.make n_comm 0. in
+    for i = 0 to n - 1 do
+      s.(labels.(i)) <- s.(labels.(i)) +. k.(i)
+    done;
+    let penalty = Array.fold_left (fun acc sc -> acc +. (sc *. sc)) 0. s in
+    (!intra -. (resolution *. penalty /. m2)) /. m2
+  end
+
+(* Mutable scratch shared across aggregation levels (levels only
+   shrink, so level-0 sizing covers the whole run) — the same frame
+   idiom as the placement hot path. *)
+type frame = {
+  mutable k : float array;  (* node degree *)
+  mutable community : int array;
+  mutable sigma_tot : float array;  (* total degree per community *)
+  mutable w : float array;
+      (* weight from the current node into each community; values are
+         sums of positive edge weights, so [0.] doubles as "untouched" *)
+  mutable touched : int array;  (* communities to reset in [w] *)
+}
+
+let make_frame n =
+  let n = max n 1 in
+  {
+    k = Array.make n 0.;
+    community = Array.make n 0;
+    sigma_tot = Array.make n 0.;
+    w = Array.make n 0.;
+    touched = Array.make n 0;
+  }
+
+(* Order-independent move selection shared by the dense and CSR
+   passes.  The best community is the exact (max gain, then lowest
+   community id) over the touched neighbour communities — float
+   equality, not epsilon, so the winner does not depend on scan order.
+   The epsilon appears only in the final move-vs-stay guard. *)
+let local_moving fr ~resolution ~n ~m2 ~iter_neighbours =
+  let k = fr.k and community = fr.community in
+  let sigma_tot = fr.sigma_tot and w = fr.w and touched = fr.touched in
+  for i = 0 to n - 1 do
+    community.(i) <- i;
+    sigma_tot.(i) <- k.(i)
+  done;
   let improved = ref false in
   if m2 > 0. then begin
     let moved = ref true in
@@ -48,38 +99,88 @@ let one_level ~resolution adj =
       for i = 0 to n - 1 do
         let ci = community.(i) in
         sigma_tot.(ci) <- sigma_tot.(ci) -. k.(i);
-        (* Links from i into each neighbouring community. *)
-        let w = Hashtbl.create 8 in
-        for j = 0 to n - 1 do
-          if j <> i && adj.(i).(j) > 0. then begin
-            let c = community.(j) in
-            Hashtbl.replace w c
-              (adj.(i).(j)
-              +. Option.value ~default:0. (Hashtbl.find_opt w c))
+        (* Accumulate links from i into each neighbouring community. *)
+        let nt = ref 0 in
+        iter_neighbours i (fun j v ->
+            if j <> i then begin
+              let c = community.(j) in
+              if w.(c) = 0. then begin
+                touched.(!nt) <- c;
+                incr nt
+              end;
+              w.(c) <- w.(c) +. v
+            end);
+        let gain c = w.(c) -. (resolution *. sigma_tot.(c) *. k.(i) /. m2) in
+        let stay = gain ci in
+        let best_c = ref ci and best_gain = ref stay in
+        for t = 0 to !nt - 1 do
+          let c = touched.(t) in
+          let g = gain c in
+          if g > !best_gain || (g = !best_gain && c < !best_c) then begin
+            best_c := c;
+            best_gain := g
           end
         done;
-        let gain c =
-          let wc = Option.value ~default:0. (Hashtbl.find_opt w c) in
-          wc -. (resolution *. sigma_tot.(c) *. k.(i) /. m2)
+        for t = 0 to !nt - 1 do
+          w.(touched.(t)) <- 0.
+        done;
+        let dest =
+          if !best_c <> ci && !best_gain > stay +. 1e-12 then begin
+            moved := true;
+            improved := true;
+            !best_c
+          end
+          else ci
         in
-        let best_c, best_gain =
-          Hashtbl.fold
-            (fun c _ (bc, bg) ->
-              let g = gain c in
-              if g > bg +. 1e-12 then (c, g) else (bc, bg))
-            w (ci, gain ci)
-        in
-        ignore best_gain;
-        if best_c <> ci then begin
-          moved := true;
-          improved := true
-        end;
-        community.(i) <- best_c;
-        sigma_tot.(best_c) <- sigma_tot.(best_c) +. k.(i)
+        community.(i) <- dest;
+        sigma_tot.(dest) <- sigma_tot.(dest) +. k.(i)
       done
     done
   end;
-  (renumber community, !improved)
+  (renumber (Array.sub community 0 n), !improved)
+
+let ensure_frame fr n =
+  if Array.length fr.k < n then begin
+    fr.k <- Array.make n 0.;
+    fr.community <- Array.make n 0;
+    fr.sigma_tot <- Array.make n 0.;
+    fr.w <- Array.make n 0.;
+    fr.touched <- Array.make n 0
+  end
+
+let one_level_dense fr ~resolution adj =
+  let n = Array.length adj in
+  ensure_frame fr n;
+  let m2 = ref 0. in
+  for i = 0 to n - 1 do
+    let s = Array.fold_left ( +. ) 0. adj.(i) in
+    fr.k.(i) <- s;
+    m2 := !m2 +. s
+  done;
+  local_moving fr ~resolution ~n ~m2:!m2 ~iter_neighbours:(fun i f ->
+      let row = adj.(i) in
+      for j = 0 to n - 1 do
+        if row.(j) > 0. then f j row.(j)
+      done)
+
+let one_level_csr_frame fr ~resolution (adj : Csr.t) =
+  let n = adj.Csr.n in
+  ensure_frame fr n;
+  let m2 = ref 0. in
+  for i = 0 to n - 1 do
+    let s = ref 0. in
+    Csr.iter_row adj i (fun _ v -> s := !s +. v);
+    fr.k.(i) <- !s;
+    m2 := !m2 +. !s
+  done;
+  local_moving fr ~resolution ~n ~m2:!m2 ~iter_neighbours:(fun i f ->
+      Csr.iter_row adj i f)
+
+let one_level ?(resolution = 1.) adj =
+  one_level_dense (make_frame (Array.length adj)) ~resolution adj
+
+let one_level_csr ?(resolution = 1.) adj =
+  one_level_csr_frame (make_frame adj.Csr.n) ~resolution adj
 
 let aggregate adj labels =
   let n_comm = 1 + Array.fold_left max 0 labels in
@@ -95,11 +196,31 @@ let aggregate adj labels =
     adj;
   small
 
+let aggregate_csr (adj : Csr.t) labels =
+  let n_comm = 1 + Array.fold_left max 0 labels in
+  (* Flat n_comm² accumulator; the row-major stored-entry scan adds
+     into each cell in exactly the dense aggregate's order. *)
+  let acc = Array.make (n_comm * n_comm) 0. in
+  Csr.iter_nz adj (fun i j v ->
+      let idx = (labels.(i) * n_comm) + labels.(j) in
+      acc.(idx) <- acc.(idx) +. v);
+  let rows =
+    Array.init n_comm (fun i ->
+        let cells = ref [] in
+        for j = n_comm - 1 downto 0 do
+          let v = acc.((i * n_comm) + j) in
+          if v > 0. then cells := (j, v) :: !cells
+        done;
+        !cells)
+  in
+  Csr.of_row_lists ~n:n_comm rows
+
 let cluster ?(resolution = 1.) adj =
   let n = Array.length adj in
   let assignment = Array.init n Fun.id in
+  let fr = make_frame n in
   let rec loop adj =
-    let labels, improved = one_level ~resolution adj in
+    let labels, improved = one_level_dense fr ~resolution adj in
     if not improved then ()
     else begin
       (* Compose into the node-level assignment. *)
@@ -108,6 +229,24 @@ let cluster ?(resolution = 1.) adj =
       done;
       let n_comm = 1 + Array.fold_left max 0 labels in
       if n_comm < Array.length adj then loop (aggregate adj labels)
+    end
+  in
+  loop adj;
+  renumber assignment
+
+let cluster_csr ?(resolution = 1.) (adj : Csr.t) =
+  let n = adj.Csr.n in
+  let assignment = Array.init n Fun.id in
+  let fr = make_frame n in
+  let rec loop (adj : Csr.t) =
+    let labels, improved = one_level_csr_frame fr ~resolution adj in
+    if not improved then ()
+    else begin
+      for i = 0 to n - 1 do
+        assignment.(i) <- labels.(assignment.(i))
+      done;
+      let n_comm = 1 + Array.fold_left max 0 labels in
+      if n_comm < adj.Csr.n then loop (aggregate_csr adj labels)
     end
   in
   loop adj;

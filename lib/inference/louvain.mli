@@ -1,7 +1,18 @@
 (** Louvain community detection (Blondel et al. 2008, the paper's [35])
-    on dense weighted undirected graphs: greedy local moving that
-    maximizes modularity, followed by graph aggregation, repeated until
-    no pass improves. *)
+    on weighted undirected graphs: greedy local moving that maximizes
+    modularity, followed by graph aggregation, repeated until no pass
+    improves.
+
+    Two interchangeable representations: the historical dense
+    [float array array] reference, and the {!Cm_util.Csr} hot path whose
+    inner loop is allocation-free (flat neighbour-community weight
+    accumulator + touched-list reset instead of a per-node Hashtbl,
+    scratch reused across aggregation levels).  For the same matrix the
+    two produce {e identical} labels: neighbour weights accumulate in
+    ascending-column order on both paths, and moves use an
+    order-independent selection key — exact maximum gain, ties broken
+    towards the lowest community id (folding a Hashtbl, as the dense
+    path previously did, made equal-gain ties depend on hash order). *)
 
 val modularity : ?resolution:float -> float array array -> int array -> float
 (** Newman modularity of a labelling of the given symmetric adjacency
@@ -9,6 +20,33 @@ val modularity : ?resolution:float -> float array array -> int array -> float
     (default 1) is the Reichardt–Bornholdt gamma: larger values favour
     more, smaller communities. *)
 
+val modularity_csr : ?resolution:float -> Cm_util.Csr.t -> int array -> float
+(** Same quantity over a sparse matrix.  The degree penalty is computed
+    per community rather than per pair, so agreement with {!modularity}
+    is to float tolerance, not bit-exact. *)
+
 val cluster : ?resolution:float -> float array array -> int array
 (** Community label per node, renumbered to [0..k-1].  Deterministic
-    (nodes are scanned in index order). *)
+    (nodes are scanned in index order; ties are order-independent). *)
+
+val cluster_csr : ?resolution:float -> Cm_util.Csr.t -> int array
+(** Sparse clustering; produces exactly {!cluster}'s labels for the
+    same matrix. *)
+
+(** {1 Single passes}
+
+    Exposed for property tests (e.g. modularity is non-decreasing
+    across aggregation levels); {!cluster}/{!cluster_csr} compose
+    them. *)
+
+val one_level : ?resolution:float -> float array array -> int array * bool
+(** One local-moving pass; returns labels renumbered to [0..k-1] and
+    whether any node moved. *)
+
+val one_level_csr : ?resolution:float -> Cm_util.Csr.t -> int array * bool
+
+val aggregate : float array array -> int array -> float array array
+(** Collapse each community to one node, summing edge weights
+    (intra-community weight lands on the diagonal as a self-loop). *)
+
+val aggregate_csr : Cm_util.Csr.t -> int array -> Cm_util.Csr.t

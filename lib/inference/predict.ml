@@ -22,16 +22,12 @@ type evaluation = {
   n_evaluated : int;
 }
 
-let epoch_total m =
-  Array.fold_left
-    (fun acc row -> acc +. Array.fold_left ( +. ) 0. row)
-    0. m
-
 let evaluate p ~window (tm : Traffic_matrix.t) =
   if window < 1 then invalid_arg "Predict.evaluate: window < 1";
   let k = Array.length tm.epochs in
   if k <= window then invalid_arg "Predict.evaluate: not enough epochs";
-  let totals = Array.map epoch_total tm.epochs in
+  (* Row-major stored-entry sum == the old dense row-major fold. *)
+  let totals = Array.map Cm_util.Csr.total tm.epochs in
   let over = ref 0. and over_n = ref 0 in
   let violations = ref 0 and n = ref 0 in
   for e = window to k - 1 do

@@ -18,3 +18,12 @@ val angular_similarity : float array -> float array -> float
 val projection_graph : float array array -> float array array
 (** Symmetric VM-by-VM weight matrix of angular similarities (zero
     diagonal), from a traffic matrix. *)
+
+val projection_csr : Cm_util.Csr.t -> Cm_util.Csr.t
+(** Sparse projection graph: per-pair cosines via merge-based dot
+    products over each VM's sparse feature support (row nonzeros, then
+    column nonzeros offset by n) — O(nnz_i + nnz_j) per pair instead of
+    O(2n).  Every accumulated sum visits the same nonzero terms in the
+    same order as the dense path, so the edge weights (and hence
+    downstream Louvain labels) are bit-identical to
+    [Csr.of_dense (projection_graph (Csr.to_dense m))]. *)

@@ -1,10 +1,12 @@
 module Tag = Cm_tag.Tag
 module Rng = Cm_util.Rng
+module Csr = Cm_util.Csr
 
 type t = {
   n_vms : int;
   truth : int array;
-  epochs : float array array array;
+  truth_known : bool;
+  epochs : Csr.t array;
 }
 
 let generate ?(epochs = 8) ?(imbalance = 0.8) ?(noise_rate = -1.)
@@ -41,67 +43,132 @@ let generate ?(epochs = 8) ?(imbalance = 0.8) ?(noise_rate = -1.)
   in
   let sigma = imbalance in
   (* Log-normal factor with unit mean. *)
-  let wobble () =
-    Rng.log_normal rng ~mu:(-.(sigma *. sigma) /. 2.) ~sigma
-  in
+  let wobble_from r = Rng.log_normal r ~mu:(-.(sigma *. sigma) /. 2.) ~sigma in
   let make_epoch () =
-    let m = Array.make_matrix n n 0. in
+    (* Per-row contribution lists in chronological order (kept reversed
+       while building); Csr.of_row_lists sums duplicate cells in that
+       order, matching the dense [m.(a).(b) <- m.(a).(b) +. d] history. *)
+    let rows = Array.make n [] in
+    let add a b d = rows.(a) <- (b, d) :: rows.(a) in
+    (* Structural traffic: the edge-major scan (and therefore the wobble
+       draw order on [rng]) is the same as the historical dense
+       generator, so structural matrices reproduce bit-for-bit. *)
     Array.iter
       (fun (e : Tag.edge) ->
         if Tag.is_external tag e.src || Tag.is_external tag e.dst then
           (* External traffic never appears in the VM-to-VM matrix. *)
           ()
         else
-        let ns = Tag.size tag e.src and nd = Tag.size tag e.dst in
-        if e.src = e.dst then begin
-          if ns > 1 then begin
-            let pair = Tag.b_total tag e /. float_of_int (ns * (ns - 1)) in
+          let ns = Tag.size tag e.src and nd = Tag.size tag e.dst in
+          if e.src = e.dst then begin
+            if ns > 1 then begin
+              let pair = Tag.b_total tag e /. float_of_int (ns * (ns - 1)) in
+              for i = 0 to ns - 1 do
+                for j = 0 to ns - 1 do
+                  if i <> j then
+                    let a = first_vm.(e.src) + i
+                    and b = first_vm.(e.src) + j in
+                    add a b (pair *. wobble_from rng)
+                done
+              done
+            end
+          end
+          else begin
+            let pair = Tag.b_total tag e /. float_of_int (ns * nd) in
             for i = 0 to ns - 1 do
-              for j = 0 to ns - 1 do
-                if i <> j then begin
-                  let a = first_vm.(e.src) + i and b = first_vm.(e.src) + j in
-                  m.(a).(b) <- m.(a).(b) +. (pair *. wobble ())
-                end
+              for j = 0 to nd - 1 do
+                let a = first_vm.(e.src) + i and b = first_vm.(e.dst) + j in
+                add a b (pair *. wobble_from rng)
               done
             done
-          end
-        end
-        else begin
-          let pair = Tag.b_total tag e /. float_of_int (ns * nd) in
-          for i = 0 to ns - 1 do
-            for j = 0 to nd - 1 do
-              let a = first_vm.(e.src) + i and b = first_vm.(e.dst) + j in
-              m.(a).(b) <- m.(a).(b) +. (pair *. wobble ())
-            done
-          done
-        end)
+          end)
       (Tag.edges tag);
-    (* Background chatter between unrelated VMs. *)
-    if noise_prob > 0. && noise_rate > 0. then
-      for i = 0 to n - 1 do
-        for j = 0 to n - 1 do
-          if i <> j && Rng.uniform rng < noise_prob then
-            m.(i).(j) <- m.(i).(j) +. (noise_rate *. wobble ())
+    (* Background chatter between unrelated VMs.  Instead of the n²
+       Bernoulli scan (one uniform per ordered pair) we draw the gaps
+       between noisy cells geometrically — identical in distribution,
+       O(#noisy cells) draws.  The RNG-compatibility shim: noise draws
+       come from a stream split off [rng] once per epoch, so the
+       structural stream above is never perturbed (and noise_prob = 0
+       leaves [rng] exactly where the legacy generator left it). *)
+    if noise_prob > 0. && noise_rate > 0. then begin
+      let nrng = Rng.split rng in
+      if noise_prob >= 1. then
+        (* Degenerate: every off-diagonal pair is noisy. *)
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            if i <> j then add i j (noise_rate *. wobble_from nrng)
+          done
         done
-      done;
-    m
+      else begin
+        let lq = log1p (-.noise_prob) in
+        for i = 0 to n - 1 do
+          (* Walk the n-1 eligible columns (diagonal excluded) of row i:
+             positions of noisy cells are i.i.d. Bernoulli(noise_prob),
+             so the gap to the next one is geometric. *)
+          let pos = ref (-1) in
+          let continue = ref (n > 1) in
+          while !continue do
+            let g = log1p (-.Rng.uniform nrng) /. lq in
+            if g >= float_of_int n then continue := false
+            else begin
+              pos := !pos + 1 + int_of_float g;
+              if !pos >= n - 1 then continue := false
+              else
+                let j = if !pos >= i then !pos + 1 else !pos in
+                add i j (noise_rate *. wobble_from nrng)
+            end
+          done
+        done
+      end
+    end;
+    Csr.of_row_lists ~n (Array.map List.rev rows)
   in
-  { n_vms = n; truth; epochs = Array.init epochs (fun _ -> make_epoch ()) }
+  {
+    n_vms = n;
+    truth;
+    truth_known = true;
+    epochs = Array.init epochs (fun _ -> make_epoch ());
+  }
+
+let mean_csr t =
+  let n = t.n_vms in
+  let k = float_of_int (Array.length t.epochs) in
+  (* Row-major accumulation over stored entries only; per cell the
+     epochs contribute in ascending order, then one division at the
+     end (not one per epoch). *)
+  let acc = Array.make (max n 1) 0. in
+  let rows =
+    Array.init n (fun i ->
+        let touched = ref [] in
+        Array.iter
+          (fun epoch ->
+            let rp = epoch.Csr.row_ptr
+            and ci = epoch.Csr.col_idx
+            and v = epoch.Csr.values in
+            for p = rp.(i) to rp.(i + 1) - 1 do
+              let j = ci.(p) in
+              if acc.(j) = 0. then touched := j :: !touched;
+              acc.(j) <- acc.(j) +. v.(p)
+            done)
+          t.epochs;
+        List.rev_map
+          (fun j ->
+            let v = acc.(j) /. k in
+            acc.(j) <- 0.;
+            (j, v))
+          !touched)
+  in
+  Csr.of_row_lists ~n rows
+
+let mean_matrix t = Csr.to_dense (mean_csr t)
 
 let to_csv t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "epoch,src,dst,rate\n";
   Array.iteri
     (fun e m ->
-      Array.iteri
-        (fun i row ->
-          Array.iteri
-            (fun j rate ->
-              if rate > 0. then
-                Buffer.add_string buf
-                  (Printf.sprintf "%d,%d,%d,%.17g\n" e i j rate))
-            row)
-        m)
+      Csr.iter_nz m (fun i j rate ->
+          Buffer.add_string buf (Printf.sprintf "%d,%d,%d,%.17g\n" e i j rate)))
     t.epochs;
   Buffer.contents buf
 
@@ -126,7 +193,7 @@ let of_csv text =
               when e >= 0 && i >= 0 && j >= 0 && rate >= 0. ->
                 max_epoch := max !max_epoch e;
                 max_vm := max !max_vm (max i j);
-                cells := (e, i, j, rate) :: !cells
+                cells := (e, i, j, rate, lineno + 1) :: !cells
             | _ ->
                 err :=
                   Some (Printf.sprintf "line %d: malformed cell" (lineno + 1))
@@ -138,29 +205,38 @@ let of_csv text =
                    (lineno + 1))
       end)
     lines;
+  (* A duplicate (epoch,src,dst) cell is ambiguous — the old behaviour
+     silently kept whichever line came last.  Reject instead. *)
+  (match !err with
+  | Some _ -> ()
+  | None ->
+      let sorted =
+        List.sort
+          (fun (e1, i1, j1, _, _) (e2, i2, j2, _, _) ->
+            compare (e1, i1, j1) (e2, i2, j2))
+          !cells
+      in
+      let rec scan = function
+        | (e1, i1, j1, _, _) :: ((e2, i2, j2, _, l2) :: _ as rest) ->
+            if e1 = e2 && i1 = i2 && j1 = j2 then
+              err :=
+                Some
+                  (Printf.sprintf "line %d: duplicate cell (%d,%d,%d)" l2 e2 i2
+                     j2)
+            else scan rest
+        | _ -> ()
+      in
+      scan sorted);
   match !err with
   | Some m -> Error m
   | None ->
       if !max_vm < 0 then Error "no cells"
       else begin
         let n = !max_vm + 1 and k = !max_epoch + 1 in
-        let epochs = Array.init k (fun _ -> Array.make_matrix n n 0.) in
+        let rows = Array.init k (fun _ -> Array.make n []) in
         List.iter
-          (fun (e, i, j, rate) -> epochs.(e).(i).(j) <- rate)
+          (fun (e, i, j, rate, _) -> rows.(e).(i) <- (j, rate) :: rows.(e).(i))
           !cells;
-        Ok { n_vms = n; truth = Array.make n 0; epochs }
+        let epochs = Array.map (fun r -> Csr.of_row_lists ~n r) rows in
+        Ok { n_vms = n; truth = Array.make n 0; truth_known = false; epochs }
       end
-
-let mean_matrix t =
-  let n = t.n_vms in
-  let k = float_of_int (Array.length t.epochs) in
-  let m = Array.make_matrix n n 0. in
-  Array.iter
-    (fun epoch ->
-      for i = 0 to n - 1 do
-        for j = 0 to n - 1 do
-          m.(i).(j) <- m.(i).(j) +. (epoch.(i).(j) /. k)
-        done
-      done)
-    t.epochs;
-  m

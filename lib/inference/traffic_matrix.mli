@@ -6,13 +6,24 @@
     its VM pairs with log-normal load-balancer imbalance per epoch, plus
     optional low-rate background chatter between unrelated VMs (the
     management-service analog).  Inference quality is then measured
-    against the known component labels. *)
+    against the known component labels.
+
+    Epochs are stored sparsely ({!Cm_util.Csr}): real tenant matrices
+    are overwhelmingly sparse, and every downstream pass (similarity
+    projection, Louvain, guarantee extraction) folds over stored
+    entries only. *)
 
 type t = {
   n_vms : int;
-  truth : int array;  (** Ground-truth component of each VM. *)
-  epochs : float array array array;
-      (** [epochs.(e).(i).(j)] = rate from VM i to VM j in epoch e. *)
+  truth : int array;
+      (** Ground-truth component of each VM.  Meaningless (all zeros)
+          when [truth_known] is false, e.g. after {!of_csv}. *)
+  truth_known : bool;
+      (** Whether [truth] carries real labels.  [generate] sets it;
+          {!of_csv} clears it, so AMI-vs-truth scores are suppressed for
+          imported data. *)
+  epochs : Cm_util.Csr.t array;
+      (** [Csr.get epochs.(e) i j] = rate from VM i to VM j in epoch e. *)
 }
 
 val generate :
@@ -26,19 +37,33 @@ val generate :
 (** Defaults: 8 epochs; [imbalance] (sigma of the per-pair log-normal
     factor) 0.8; background noise flows with probability [noise_prob]
     (default 0.02) per ordered pair and rate [noise_rate] (default 2% of
-    the mean legitimate pair rate). *)
+    the mean legitimate pair rate).
+
+    Structural traffic consumes [rng] in the historical edge-major
+    order, so fixed-seed structural values reproduce bit-for-bit across
+    the dense-to-sparse rewrite.  Background noise draws from a stream
+    split off [rng] once per epoch and samples noisy cells by per-row
+    geometric gaps — identical in distribution to the legacy n²
+    Bernoulli scan at O(noisy cells) cost. *)
+
+val mean_csr : t -> Cm_util.Csr.t
+(** Per-pair rate averaged over epochs (summed per cell, divided once). *)
 
 val mean_matrix : t -> float array array
-(** Per-pair rate averaged over epochs. *)
+(** Dense view of {!mean_csr}. *)
 
 (** {1 Import/export}
 
     CSV interchange so operators can feed measured matrices: one line
     per epoch cell, [epoch,src,dst,rate] with a header line.  Ground
-    truth is unknown for imported data; [truth] is all zeros. *)
+    truth is unknown for imported data; [truth] is all zeros and
+    [truth_known] is false. *)
 
 val to_csv : t -> string
+
 val of_csv : string -> (t, string) result
 (** Parses the {!to_csv} format.  Dimensions are inferred from the
     largest indices; missing cells are 0.
-    @return [Error] with a line-numbered message on malformed input. *)
+    @return [Error] with a line-numbered message on malformed input,
+    including duplicate [(epoch,src,dst)] cells (previously the last
+    line silently won). *)

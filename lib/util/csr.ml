@@ -1,0 +1,218 @@
+type t = {
+  n : int;
+  row_ptr : int array;
+  col_idx : int array;
+  values : float array;
+}
+
+let nnz t = t.row_ptr.(t.n)
+let row_nnz t i = t.row_ptr.(i + 1) - t.row_ptr.(i)
+
+let of_dense m =
+  let n = Array.length m in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Csr.of_dense: not square")
+    m;
+  let row_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    let c = ref 0 in
+    Array.iter (fun v -> if v > 0. then incr c) m.(i);
+    row_ptr.(i + 1) <- row_ptr.(i) + !c
+  done;
+  let k = row_ptr.(n) in
+  let col_idx = Array.make k 0 and values = Array.make k 0. in
+  let p = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if m.(i).(j) > 0. then begin
+        col_idx.(!p) <- j;
+        values.(!p) <- m.(i).(j);
+        incr p
+      end
+    done
+  done;
+  { n; row_ptr; col_idx; values }
+
+let to_dense t =
+  let m = Array.make_matrix t.n t.n 0. in
+  for i = 0 to t.n - 1 do
+    for p = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      m.(i).(t.col_idx.(p)) <- t.values.(p)
+    done
+  done;
+  m
+
+let of_row_lists ~n rows =
+  if Array.length rows <> n then invalid_arg "Csr.of_row_lists: row count";
+  (* Scratch accumulator shared by all rows: [acc] holds the running sum
+     per touched column (values are positive once touched, so [0.] means
+     untouched), [touched] the columns to reset afterwards. *)
+  let acc = Array.make (max n 1) 0. in
+  let seen = Array.make (max n 1) false in
+  let compressed =
+    Array.map
+      (fun cells ->
+        let touched = ref [] in
+        List.iter
+          (fun (j, d) ->
+            if j < 0 || j >= n then
+              invalid_arg
+                (Printf.sprintf "Csr.of_row_lists: column %d out of range" j);
+            if not seen.(j) then begin
+              seen.(j) <- true;
+              touched := j :: !touched
+            end;
+            acc.(j) <- acc.(j) +. d)
+          cells;
+        let cols = List.sort compare !touched in
+        let entries =
+          List.filter_map
+            (fun j ->
+              let v = acc.(j) in
+              acc.(j) <- 0.;
+              seen.(j) <- false;
+              if v > 0. then Some (j, v) else None)
+            cols
+        in
+        entries)
+      rows
+  in
+  let row_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + List.length compressed.(i)
+  done;
+  let k = row_ptr.(n) in
+  let col_idx = Array.make k 0 and values = Array.make k 0. in
+  let p = ref 0 in
+  Array.iter
+    (List.iter (fun (j, v) ->
+         col_idx.(!p) <- j;
+         values.(!p) <- v;
+         incr p))
+    compressed;
+  { n; row_ptr; col_idx; values }
+
+let of_upper ~n upper =
+  if Array.length upper <> n then invalid_arg "Csr.of_upper: row count";
+  (* Per row: mirror count (entries arriving from rows above) and kept
+     upper count, so the final arrays can be sized and filled without
+     intermediate boxing. *)
+  let mc = Array.make (max n 1) 0 in
+  let uc = Array.make (max n 1) 0 in
+  Array.iteri
+    (fun i (cols, vals) ->
+      if Array.length vals <> Array.length cols then
+        invalid_arg "Csr.of_upper: cols/vals length mismatch";
+      let prev = ref i in
+      Array.iteri
+        (fun p j ->
+          if j <= !prev || j >= n then
+            invalid_arg
+              (Printf.sprintf
+                 "Csr.of_upper: row %d: columns must ascend within (%d, %d)" i
+                 i n);
+          prev := j;
+          if vals.(p) > 0. then begin
+            uc.(i) <- uc.(i) + 1;
+            mc.(j) <- mc.(j) + 1
+          end)
+        cols)
+    upper;
+  let row_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + mc.(i) + uc.(i)
+  done;
+  let k = row_ptr.(n) in
+  let col_idx = Array.make k 0 and values = Array.make k 0. in
+  (* Row i lays out its mirror entries (column < i) before its upper
+     entries (column > i), both ascending: [cursor.(j)] walks row j's
+     mirror block as the source rows arrive in ascending order. *)
+  let cursor = Array.init n (fun i -> row_ptr.(i)) in
+  Array.iteri
+    (fun i (cols, vals) ->
+      let q = ref (row_ptr.(i) + mc.(i)) in
+      Array.iteri
+        (fun p j ->
+          let v = vals.(p) in
+          if v > 0. then begin
+            col_idx.(!q) <- j;
+            values.(!q) <- v;
+            incr q;
+            col_idx.(cursor.(j)) <- i;
+            values.(cursor.(j)) <- v;
+            cursor.(j) <- cursor.(j) + 1
+          end)
+        cols)
+    upper;
+  { n; row_ptr; col_idx; values }
+
+let get t i j =
+  let lo = ref t.row_ptr.(i) and hi = ref (t.row_ptr.(i + 1) - 1) in
+  let found = ref 0. in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = t.col_idx.(mid) in
+    if c = j then begin
+      found := t.values.(mid);
+      lo := !hi + 1
+    end
+    else if c < j then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let iter_row t i f =
+  for p = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    f t.col_idx.(p) t.values.(p)
+  done
+
+let iter_nz t f =
+  for i = 0 to t.n - 1 do
+    for p = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      f i t.col_idx.(p) t.values.(p)
+    done
+  done
+
+let row_sums t =
+  Array.init t.n (fun i ->
+      let s = ref 0. in
+      iter_row t i (fun _ v -> s := !s +. v);
+      !s)
+
+let total t =
+  let s = ref 0. in
+  for p = 0 to nnz t - 1 do
+    s := !s +. t.values.(p)
+  done;
+  !s
+
+let transpose t =
+  let n = t.n in
+  let k = nnz t in
+  let row_ptr = Array.make (n + 1) 0 in
+  for p = 0 to k - 1 do
+    let j = t.col_idx.(p) in
+    row_ptr.(j + 1) <- row_ptr.(j + 1) + 1
+  done;
+  for j = 1 to n do
+    row_ptr.(j) <- row_ptr.(j) + row_ptr.(j - 1)
+  done;
+  let col_idx = Array.make k 0 and values = Array.make k 0. in
+  let cursor = Array.copy row_ptr in
+  (* Row-major scan of the source writes each transposed row in
+     ascending source-row order, i.e. ascending transposed column. *)
+  iter_nz t (fun i j v ->
+      let p = cursor.(j) in
+      cursor.(j) <- p + 1;
+      col_idx.(p) <- i;
+      values.(p) <- v);
+  { n; row_ptr; col_idx; values }
+
+let scale f t =
+  if not (f > 0.) then invalid_arg "Csr.scale: factor must be > 0";
+  { t with values = Array.map (fun v -> v *. f) t.values }
+
+let equal a b =
+  a.n = b.n && a.row_ptr = b.row_ptr && a.col_idx = b.col_idx
+  && a.values = b.values

@@ -1,0 +1,86 @@
+(** Compressed-sparse-row (CSR) square matrices of non-negative floats.
+
+    The inference pipeline's traffic matrices, similarity projection
+    graphs and aggregated community graphs are overwhelmingly sparse
+    (background noise probability ~2%), so every hot pass over them
+    iterates stored entries only.  The representation is the classic
+    three-array layout: [row_ptr] (length [n + 1]) delimits each row's
+    slice of [col_idx]/[values], and within a row columns are strictly
+    increasing.
+
+    Contract: stored values are strictly positive.  Constructors drop
+    entries that are [<= 0.], so [to_dense] reconstructs exactly the
+    dense matrices the rest of the system would have produced (the
+    dense code paths never distinguish an absent cell from a stored
+    zero).  Matrices with meaningful negative or explicit-zero entries
+    are out of scope. *)
+
+type t = private {
+  n : int;  (** Rows = columns. *)
+  row_ptr : int array;  (** Length [n + 1]; [row_ptr.(n)] = nnz. *)
+  col_idx : int array;  (** Column of each stored entry, ascending per row. *)
+  values : float array;  (** Stored entries, all [> 0.]. *)
+}
+
+val of_dense : float array array -> t
+(** Keeps the strictly positive cells of a square dense matrix.
+    @raise Invalid_argument if the matrix is not square. *)
+
+val to_dense : t -> float array array
+(** Dense reconstruction; absent cells are [0.]. *)
+
+val of_row_lists : n:int -> (int * float) list array -> t
+(** [of_row_lists ~n rows] builds a matrix from per-row contribution
+    lists: [rows.(i)] holds [(col, delta)] pairs in chronological order.
+    Duplicate columns are summed {e in list order} (so float rounding
+    matches an equivalent sequence of dense [m.(i).(j) <- m.(i).(j) +. d]
+    updates); cells whose sum is [<= 0.] are dropped.
+    @raise Invalid_argument on a column outside [0, n) or when
+    [Array.length rows <> n]. *)
+
+val of_upper : n:int -> (int array * float array) array -> t
+(** [of_upper ~n upper] builds a {e symmetric} matrix from its strict
+    upper triangle: [upper.(i) = (cols, vals)] lists row [i]'s entries
+    with [i < cols.(p) < n], columns strictly ascending.  Each kept
+    entry [(i, j, v)] is stored at both [(i, j)] and [(j, i)]; entries
+    with [vals.(p) <= 0.] are dropped.  Allocation-lean (two counting
+    passes straight into the final arrays) — this is the constructor
+    for similarity projection graphs.
+    @raise Invalid_argument on a row-count, length or column-order
+    violation. *)
+
+val nnz : t -> int
+val row_nnz : t -> int -> int
+
+val get : t -> int -> int -> float
+(** [get t i j] is the stored value at [(i, j)], or [0.] — binary search
+    within row [i]. *)
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+(** Visit row [i]'s stored entries in ascending column order. *)
+
+val iter_nz : t -> (int -> int -> float -> unit) -> unit
+(** Visit every stored entry in row-major (ascending [i], then [j])
+    order. *)
+
+val row_sums : t -> float array
+(** Per-row sums, each accumulated in ascending column order —
+    bit-identical to folding [( +. )] over the dense row, because
+    adding absent ([0.]) cells never changes a non-negative float
+    sum. *)
+
+val total : t -> float
+(** Sum of all stored entries, row-major accumulation order. *)
+
+val transpose : t -> t
+(** Columns become rows; entry order within each transposed row is
+    ascending (counting sort), i.e. the dense column read order. *)
+
+val scale : float -> t -> t
+(** Multiply every stored value; factor must be [> 0.] to preserve the
+    positivity contract.
+    @raise Invalid_argument otherwise. *)
+
+val equal : t -> t -> bool
+(** Structural equality of dimension, pattern and values (exact float
+    comparison). *)

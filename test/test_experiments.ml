@@ -162,6 +162,13 @@ let test_parallel_enforce_churn_identical () =
   Alcotest.(check string) "enforce-churn identical under --jobs 1 and --jobs 4"
     (with_jobs 1 sweep) (with_jobs 4 sweep)
 
+let test_parallel_ami_identical () =
+  (* One traffic-RNG stream per tenant: the inference sweep must render
+     the same table on one domain and four. *)
+  let sweep () = rendered (fst (E.ami ~seed:7 ~n:10 ~max_vms:120 ())) in
+  Alcotest.(check string) "ami identical under --jobs 1 and --jobs 4"
+    (with_jobs 1 sweep) (with_jobs 4 sweep)
+
 let () =
   Alcotest.run "cm_experiments"
     [
@@ -207,5 +214,7 @@ let () =
             test_parallel_replicates_identical;
           Alcotest.test_case "enforce-churn jobs-invariant" `Quick
             test_parallel_enforce_churn_identical;
+          Alcotest.test_case "ami jobs-invariant" `Quick
+            test_parallel_ami_identical;
         ] );
     ]

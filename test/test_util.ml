@@ -449,6 +449,113 @@ let test_pqueue_clear () =
   Pqueue.push q 3. 3;
   Alcotest.(check int) "usable after clear" 3 (snd (Option.get (Pqueue.pop q)))
 
+(* {1 Csr} *)
+
+module Csr = Cm_util.Csr
+
+let sample_dense =
+  [| [| 0.; 1.5; 0.; 2. |]; [| 0.; 0.; 0.; 0. |]; [| 3.; 0.; 0.5; 0. |];
+     [| 0.; 4.; 0.; 0. |] |]
+
+let test_csr_of_dense () =
+  let t = Csr.of_dense sample_dense in
+  Alcotest.(check int) "nnz" 5 (Csr.nnz t);
+  Alcotest.(check int) "row 0 nnz" 2 (Csr.row_nnz t 0);
+  Alcotest.(check int) "row 1 nnz" 0 (Csr.row_nnz t 1);
+  check_float "get stored" 3. (Csr.get t 2 0);
+  check_float "get absent" 0. (Csr.get t 0 2);
+  check_float "get empty row" 0. (Csr.get t 1 3)
+
+let test_csr_roundtrip () =
+  let t = Csr.of_dense sample_dense in
+  Alcotest.(check bool) "dense round-trip" true (Csr.to_dense t = sample_dense);
+  Alcotest.(check bool) "csr round-trip" true
+    (Csr.equal t (Csr.of_dense (Csr.to_dense t)))
+
+let test_csr_of_row_lists () =
+  (* Duplicate columns sum in list order; non-positive sums are dropped. *)
+  let t =
+    Csr.of_row_lists ~n:3
+      [| [ (2, 1.); (0, 2.); (2, 0.5) ]; [ (1, 0.) ]; [] |]
+  in
+  Alcotest.(check int) "nnz" 2 (Csr.nnz t);
+  check_float "summed cell" 1.5 (Csr.get t 0 2);
+  check_float "other cell" 2. (Csr.get t 0 0);
+  check_float "zero dropped" 0. (Csr.get t 1 1);
+  Alcotest.check_raises "column out of range" (Invalid_argument "")
+    (fun () ->
+      try ignore (Csr.of_row_lists ~n:2 [| [ (2, 1.) ]; [] |])
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let test_csr_iteration_order () =
+  let t = Csr.of_dense sample_dense in
+  let seen = ref [] in
+  Csr.iter_nz t (fun i j v -> seen := (i, j, v) :: !seen);
+  Alcotest.(check bool) "row-major ascending" true
+    (List.rev !seen
+    = [ (0, 1, 1.5); (0, 3, 2.); (2, 0, 3.); (2, 2, 0.5); (3, 1, 4.) ])
+
+let test_csr_sums () =
+  let t = Csr.of_dense sample_dense in
+  Alcotest.(check (array (float 1e-12)))
+    "row sums" [| 3.5; 0.; 3.5; 4. |] (Csr.row_sums t);
+  check_float "total" 11. (Csr.total t)
+
+let test_csr_transpose () =
+  let t = Csr.of_dense sample_dense in
+  let tt = Csr.transpose t in
+  check_float "moved" 3. (Csr.get tt 0 2);
+  check_float "symmetric slot empty" 0. (Csr.get tt 2 0);
+  Alcotest.(check bool) "involution" true (Csr.equal t (Csr.transpose tt))
+
+let test_csr_scale () =
+  let t = Csr.of_dense sample_dense in
+  check_float "scaled" 3. (Csr.get (Csr.scale 2. t) 0 1);
+  Alcotest.check_raises "non-positive factor" (Invalid_argument "")
+    (fun () ->
+      try ignore (Csr.scale 0. t)
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let test_csr_of_upper () =
+  (* Upper-triangle input mirrors into a symmetric matrix; non-positive
+     entries drop before mirroring. *)
+  let t =
+    Csr.of_upper ~n:4
+      [|
+        ([| 1; 3 |], [| 2.; 0. |]);
+        ([| 2 |], [| 5. |]);
+        ([||], [||]);
+        ([||], [||]);
+      |]
+  in
+  let dense =
+    [|
+      [| 0.; 2.; 0.; 0. |];
+      [| 2.; 0.; 5.; 0. |];
+      [| 0.; 5.; 0.; 0. |];
+      [| 0.; 0.; 0.; 0. |];
+    |]
+  in
+  Alcotest.(check bool) "symmetric mirror" true
+    (Csr.equal t (Csr.of_dense dense));
+  Alcotest.check_raises "column not above diagonal" (Invalid_argument "")
+    (fun () ->
+      try ignore (Csr.of_upper ~n:2 [| ([| 0 |], [| 1. |]); ([||], [||]) |])
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+let prop_csr_dense_roundtrip =
+  QCheck.Test.make ~name:"csr of_dense/to_dense round-trips" ~count:100
+    QCheck.(
+      pair (int_range 1 12) small_int)
+    (fun (n, seed) ->
+      let rng = Rng.create (1000 + seed) in
+      let m =
+        Array.init n (fun _ ->
+            Array.init n (fun _ ->
+                if Rng.uniform rng < 0.4 then Rng.uniform rng *. 10. else 0.))
+      in
+      Csr.to_dense (Csr.of_dense m) = m)
+
 let () =
   Alcotest.run "cm_util"
     [
@@ -533,5 +640,17 @@ let () =
             test_table_alignment_exact;
           Alcotest.test_case "cells verbatim" `Quick test_table_cells_verbatim;
           Alcotest.test_case "pqueue clear" `Quick test_pqueue_clear;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "of_dense" `Quick test_csr_of_dense;
+          Alcotest.test_case "round trip" `Quick test_csr_roundtrip;
+          Alcotest.test_case "of_row_lists" `Quick test_csr_of_row_lists;
+          Alcotest.test_case "iteration order" `Quick test_csr_iteration_order;
+          Alcotest.test_case "sums" `Quick test_csr_sums;
+          Alcotest.test_case "transpose" `Quick test_csr_transpose;
+          Alcotest.test_case "scale" `Quick test_csr_scale;
+          Alcotest.test_case "of_upper" `Quick test_csr_of_upper;
+          QCheck_alcotest.to_alcotest prop_csr_dense_roundtrip;
         ] );
     ]
