@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test ci bench bench-fast bench-placement bench-enforce bench-inference examples doc clean
+.PHONY: all build test ci bench bench-fast bench-placement bench-enforce bench-inference bench-failures examples doc clean
 
 all: build
 
@@ -11,7 +11,9 @@ test:
 	dune runtest
 
 # Mirror of .github/workflows/ci.yml: install dependencies (when opam is
-# available), then build everything and run the test suite from scratch.
+# available), build everything, run the test suite, then the same
+# schema-gated bench smokes the Actions workflow runs — local `make ci`
+# and CI stay identical.
 ci:
 	@if command -v opam >/dev/null 2>&1; then \
 	  opam install . --deps-only --with-test --yes; \
@@ -20,6 +22,12 @@ ci:
 	fi
 	dune build @all
 	dune runtest
+	scripts/ci-bench-smoke.sh fig8 --fast --arrivals 200
+	scripts/ci-bench-smoke.sh placement --fast --jobs 1
+	scripts/ci-bench-smoke.sh enforce --jobs 1
+	scripts/ci-bench-smoke.sh inference --jobs 1
+	scripts/ci-bench-smoke.sh sim-failures --fast --arrivals 400 --jobs 1
+	scripts/ci-bench-smoke.sh enforce-failures --jobs 1
 
 # Full paper-scale reproduction of every table and figure.  Sweeps fan
 # out over all cores; JOBS=N pins the domain count (JOBS=1 = sequential).
@@ -49,6 +57,12 @@ bench-enforce:
 # compare against the committed BENCH_pr5.json baseline.
 bench-inference:
 	dune exec bench/main.exe -- $(JOBS_FLAG) inference --metrics-out BENCH_inference.json
+
+# Failure & survivability campaign only (placement-side injection +
+# recovery and the enforcement-side replay); writes a metrics document
+# to compare against the committed BENCH_pr6.json baseline.
+bench-failures:
+	dune exec bench/main.exe -- $(JOBS_FLAG) sim-failures enforce-failures --metrics-out BENCH_failures.json
 
 examples:
 	dune exec examples/quickstart.exe

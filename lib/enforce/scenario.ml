@@ -116,6 +116,195 @@ let churn ?eps ?max_periods ?(n_senders = 5) ?(p_active = 0.5) ~seed ~epochs
     mean_periods = sum (fun p -> float_of_int p.periods) /. k;
   }
 
+(* {1 Enforcement under rack failures} *)
+
+type failure_epoch = {
+  f_epoch : int;
+  live_vms : int;
+  down_vms : int;
+  violated_vms : int;
+  f_periods : int;
+  f_converged : bool;
+}
+
+type failures_result = {
+  f_enforcement : Elastic.enforcement;
+  f_recovery : [ `None | `Lag of int ];
+  f_events : int;
+  f_points : failure_epoch list;
+  vm_epochs_down : int;
+  downtime_fraction : float;
+  restores : int;
+  mean_restore_epochs : float;
+  guarantee_violations : int;
+  reconverge_periods_mean : float;
+}
+
+let failures ?eps ?max_periods ?(n_racks = 4) ?(vms_per_rack = 4)
+    ?(recovery = `Lag 1) ?(rate = 0.15) ?mean_repair ~seed ~epochs enforcement =
+  if epochs <= 0 then invalid_arg "Scenario.failures: epochs must be positive";
+  if n_racks <= 1 then invalid_arg "Scenario.failures: need at least 2 racks";
+  if vms_per_rack <= 0 then
+    invalid_arg "Scenario.failures: vms_per_rack must be positive";
+  let module Failure = Cm_sim.Failure in
+  let n = n_racks * vms_per_rack in
+  let g = 100. in
+  let tag =
+    Tag.create ~name:"workers-sink"
+      ~components:[ ("workers", n); ("sink", 1) ]
+      ~edges:[ (0, 1, g, float_of_int n *. g) ]
+      ()
+  in
+  let bottleneck = n_racks in
+  let links =
+    List.init n_racks (fun i ->
+        { Maxmin.link_id = i; capacity = float_of_int n *. g })
+    @ [ { Maxmin.link_id = bottleneck; capacity = 1.1 *. float_of_int n *. g } ]
+  in
+  (* The same seeded schedule type the placement campaign replays: fault
+     domains are the rack links, the clock is the epoch index. *)
+  let sched =
+    Failure.schedule (Cm_util.Rng.create seed) ~n_domains:n_racks ~level:1
+      ~horizon:(float_of_int epochs) ~rate ?mean_repair ()
+  in
+  let down = Array.make_matrix epochs n_racks false in
+  List.iter
+    (fun (ev : Failure.event) ->
+      let start = int_of_float ev.Failure.at in
+      if start < epochs then begin
+        let stop =
+          match ev.Failure.repair_after with
+          | None -> epochs - 1
+          | Some d -> min (epochs - 1) (start + max 0 (int_of_float (ceil d)) - 1)
+        in
+        for e = start to max start stop do
+          if e < epochs then down.(e).(ev.Failure.domain_index) <- true
+        done
+      end)
+    sched.Failure.events;
+  let z = { Elastic.comp = 1; vm = 0 } in
+  let home = Array.init n (fun v -> v mod n_racks) in
+  let down_since = Array.make n (-1) in
+  let restores = ref 0 and restore_epochs = ref 0 in
+  let vm_live = Array.make n true in
+  let epoch_flows = Array.make epochs [] in
+  let epoch_pairs = Array.make epochs [] in
+  for e = 0 to epochs - 1 do
+    let flows = ref [] and pairs = ref [] in
+    for v = n - 1 downto 0 do
+      let rack_down = down.(e).(home.(v)) in
+      let live =
+        if not rack_down then begin
+          if not vm_live.(v) then begin
+            (* The VM's rack repaired: it comes straight back. *)
+            incr restores;
+            restore_epochs := !restore_epochs + (e - down_since.(v));
+            vm_live.(v) <- true
+          end;
+          true
+        end
+        else begin
+          if vm_live.(v) then begin
+            down_since.(v) <- e;
+            vm_live.(v) <- false
+          end;
+          (* Recovery: after [lag] whole epochs down, re-home the VM on
+             the next alive rack (round-robin from its old home). *)
+          match recovery with
+          | `None -> false
+          | `Lag lag when e - down_since.(v) >= lag -> (
+              let rec find j =
+                if j >= n_racks then None
+                else
+                  let r = (home.(v) + 1 + j) mod n_racks in
+                  if down.(e).(r) then find (j + 1) else Some r
+              in
+              match find 0 with
+              | Some r ->
+                  home.(v) <- r;
+                  incr restores;
+                  restore_epochs := !restore_epochs + (e - down_since.(v));
+                  vm_live.(v) <- true;
+                  true
+              | None -> false)
+          | `Lag _ -> false
+        end
+      in
+      if live then begin
+        let pair = { Elastic.src = { Elastic.comp = 0; vm = v }; dst = z } in
+        flows :=
+          { Runtime.pair; path = [ home.(v); bottleneck ]; demand = infinity }
+          :: !flows;
+        pairs := pair :: !pairs
+      end
+    done;
+    epoch_flows.(e) <- !flows;
+    epoch_pairs.(e) <- !pairs
+  done;
+  let rt = Runtime.create ~tag ~enforcement ~links () in
+  let r = Runtime.run_dynamic ?eps ?max_periods rt ~epochs:(Array.to_list epoch_flows) in
+  let violations = ref 0 in
+  let points =
+    List.map
+      (fun (er : Runtime.epoch_report) ->
+        let pairs = epoch_pairs.(er.epoch) in
+        let violated =
+          if pairs = [] then 0
+          else
+            Elastic.pair_guarantees tag enforcement ~pairs
+            |> List.fold_left
+                 (fun acc (pair, guarantee) ->
+                   if Runtime.throughput_of er.steady pair < guarantee -. 1e-6
+                   then acc + 1
+                   else acc)
+                 0
+        in
+        violations := !violations + violated;
+        {
+          f_epoch = er.epoch;
+          live_vms = er.n_flows;
+          down_vms = n - er.n_flows;
+          violated_vms = violated;
+          f_periods = er.periods;
+          f_converged = er.converged;
+        })
+      r.epochs
+  in
+  let vm_epochs_down =
+    List.fold_left (fun acc p -> acc + p.down_vms) 0 points
+  in
+  (* Re-convergence cost: mean control periods over epochs whose flow
+     set differs from the previous epoch's (epoch 0 counts — it is the
+     initial transient). *)
+  let changed_periods =
+    List.fold_left
+      (fun (acc, count) (p : failure_epoch) ->
+        let e = p.f_epoch in
+        if e = 0 || epoch_pairs.(e) <> epoch_pairs.(e - 1) then
+          (acc + p.f_periods, count + 1)
+        else (acc, count))
+      (0, 0) points
+  in
+  {
+    f_enforcement = enforcement;
+    f_recovery = recovery;
+    f_events = Failure.n_events sched;
+    f_points = points;
+    vm_epochs_down;
+    downtime_fraction =
+      float_of_int (vm_epochs_down + !violations)
+      /. float_of_int (n * epochs);
+    restores = !restores;
+    mean_restore_epochs =
+      (if !restores = 0 then 0.
+       else float_of_int !restore_epochs /. float_of_int !restores);
+    guarantee_violations = !violations;
+    reconverge_periods_mean =
+      (match changed_periods with
+      | _, 0 -> 0.
+      | acc, count -> float_of_int acc /. float_of_int count);
+  }
+
 type fig4_result = { web_to_logic : float; db_to_logic : float }
 
 let fig4 enforcement =

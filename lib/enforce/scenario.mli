@@ -55,6 +55,64 @@ val churn :
     are active — the per-trunk vs aggregate-hose comparison of §5 under
     churn. *)
 
+(** {1 Enforcement under rack failures (ISSUE 6)} *)
+
+type failure_epoch = {
+  f_epoch : int;
+  live_vms : int;  (** Worker VMs with a live flow this epoch. *)
+  down_vms : int;  (** Workers with no flow (their rack is dark). *)
+  violated_vms : int;
+      (** Live flows whose steady throughput missed their GP pair
+          guarantee.  Zero whenever the epoch's guarantees were feasible
+          — the steady-state oracle grants at least the guarantee — so a
+          non-zero value flags a partitioning bug. *)
+  f_periods : int;
+  f_converged : bool;
+}
+
+type failures_result = {
+  f_enforcement : Elastic.enforcement;
+  f_recovery : [ `None | `Lag of int ];
+  f_events : int;  (** Failure events drawn by the schedule. *)
+  f_points : failure_epoch list;
+  vm_epochs_down : int;  (** Sum of [down_vms] over epochs. *)
+  downtime_fraction : float;
+      (** (down + violated) VM-epochs over total VM-epochs: the
+          guarantee-downtime the tenant observes. *)
+  restores : int;
+  mean_restore_epochs : float;  (** Mean epochs from loss to restore. *)
+  guarantee_violations : int;  (** Sum of [violated_vms]. *)
+  reconverge_periods_mean : float;
+      (** Mean control periods of epochs whose flow set changed. *)
+}
+
+val failures :
+  ?eps:float ->
+  ?max_periods:int ->
+  ?n_racks:int ->
+  ?vms_per_rack:int ->
+  ?recovery:[ `None | `Lag of int ] ->
+  ?rate:float ->
+  ?mean_repair:float ->
+  seed:int ->
+  epochs:int ->
+  Elastic.enforcement ->
+  failures_result
+(** Replay a correlated {!Cm_sim.Failure.schedule} against the live
+    control loop: [n_racks] rack links (default 4) each homing
+    [vms_per_rack] worker VMs (default 4) that send to a single sink
+    over a shared bottleneck.  Each schedule event darkens one rack for
+    its repair interval (the clock is the epoch index, Poisson [rate]
+    per epoch, default 0.15; [mean_repair] as in the placement
+    campaign).  A downed VM's flow disappears; with [`Lag k] recovery it
+    is re-homed to the next alive rack after [k] whole epochs down
+    (re-placement delay), with [`None] it stays dark until its own rack
+    repairs.  Rack capacities admit any re-homing, so GP guarantees stay
+    feasible throughout and live flows keep their guarantees — downtime
+    is driven by absence, which is exactly what recovery speed
+    controls.  Deterministic in [seed]; one persistent runtime carries
+    limiter state across failures like {!churn}. *)
+
 type fig4_result = {
   web_to_logic : float;  (** Aggregate web-tier throughput into logic. *)
   db_to_logic : float;

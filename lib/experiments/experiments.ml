@@ -612,6 +612,257 @@ let enforce_churn ~seed =
   |> List.iter (Table.add_row t);
   t
 
+(* {1 Failure & survivability campaign (ISSUE 6)}
+
+   The CI failure-smoke lane gates on these gauges, so they are part of
+   the metrics schema: keep names stable. *)
+
+module Metrics = Cm_obs.Metrics
+module Failure = Cm_sim.Failure
+
+let g_fail_events = Metrics.gauge "failures.events"
+let g_fail_affected = Metrics.gauge "failures.affected"
+let g_fail_recovered = Metrics.gauge "failures.recovered"
+let g_fail_stranded = Metrics.gauge "failures.stranded"
+let g_fail_mean_ttr = Metrics.gauge "failures.mean_ttr"
+let g_fail_slack = Metrics.gauge "failures.wcs_slack_min"
+let g_oracle_gap = Metrics.gauge "failures.oracle_gap"
+let g_oracle_domains = Metrics.gauge "failures.oracle_domains"
+let g_enf_downtime_none = Metrics.gauge "failures.enforce.downtime_none"
+let g_enf_downtime_lag1 = Metrics.gauge "failures.enforce.downtime_lag1"
+
+let failure_level = 1 (* ToR fault domains *)
+
+(* The exhaustive-injection oracle, kept inside the section so every
+   metrics document carries it: measured worst-case survival over all
+   domains of a level must equal the Eq. 7 prediction exactly. *)
+let failure_oracle ~seed =
+  let spec =
+    {
+      Tree.degrees = [ 4; 4; 4 ];
+      slots_per_server = 8;
+      server_up_mbps = 1000.;
+      oversub = [ 4.; 8. ];
+    }
+  in
+  let tree = Tree.create spec in
+  let sched = Driver.cm tree in
+  let pool = Pool.scale_to_bmax (Pool.bing_like ~n:24 ~seed ()) ~bmax:300. in
+  let tenants =
+    Array.to_list pool.Pool.tags
+    |> List.filter_map (fun tag ->
+           match sched.Driver.place (Types.request tag) with
+           | Ok p -> Some (p.Types.req.tag, p.Types.locations)
+           | Error _ -> None)
+  in
+  let t =
+    Table.create
+      ~caption:
+        (Printf.sprintf
+           "Exhaustive-injection oracle: realized worst-case survival vs \
+            Eq. 7 prediction, %d tenants on a 64-server tree (gap must be \
+            0 at every level)"
+           (List.length tenants))
+      [
+        ("level", Table.Right);
+        ("domains", Table.Right);
+        ("components", Table.Right);
+        ("max |realized - predicted|", Table.Right);
+      ]
+  in
+  let worst_gap = ref 0. and total_domains = ref 0 in
+  List.iter
+    (fun level ->
+      let r = Failure.exhaustive tree tenants ~laa_level:level in
+      let gap = ref 0. and comps = ref 0 in
+      List.iter
+        (fun (o : Failure.tenant_outcome) ->
+          Array.iteri
+            (fun c w ->
+              incr comps;
+              gap := Float.max !gap (Float.abs (w -. o.predicted_wcs.(c))))
+            o.worst_survival)
+        r.outcomes;
+      worst_gap := Float.max !worst_gap !gap;
+      total_domains := !total_domains + r.domains_failed;
+      Table.add_row t
+        [
+          string_of_int level;
+          string_of_int r.domains_failed;
+          string_of_int !comps;
+          Printf.sprintf "%.2e" !gap;
+        ])
+    [ 0; 1; 2 ];
+  Metrics.set g_oracle_gap !worst_gap;
+  Metrics.set g_oracle_domains (float_of_int !total_domains);
+  t
+
+let sim_failures p =
+  let pool = bing_pool ~seed:p.seed ~bmax:p.bmax in
+  let spec = Tree.default_spec in
+  let base_cfg =
+    {
+      Runner.default_config with
+      seed = p.seed;
+      n_arrivals = p.arrivals;
+      load = p.load;
+      wcs_level = failure_level;
+    }
+  in
+  let horizon = Runner.horizon (Tree.create spec) pool base_cfg in
+  let n_domains =
+    Array.length (Tree.nodes_at_level (Tree.create spec) failure_level)
+  in
+  (* ~16 ToR failures across the run, mean repair an eighth of the span;
+     the schedule is shared verbatim by every policy row. *)
+  let schedule =
+    Failure.schedule
+      (Rng.create (p.seed + 101))
+      ~n_domains ~level:failure_level ~horizon ~rate:(16. /. horizon)
+      ~mean_repair:(horizon /. 8.) ()
+  in
+  let ha = Some { Types.rwcs = 0.25; laa_level = failure_level } in
+  let rows =
+    [
+      ("CM anti-affine + recovery", `Cm, ha, Runner.default_recovery);
+      ("CM no-HA + recovery", `Cm, None, Runner.default_recovery);
+      ( "CM anti-affine, no recovery",
+        `Cm,
+        ha,
+        { Runner.default_recovery with max_attempts = 0 } );
+      ("CM+backup 30% (Yu-style)", `Backup, None, Runner.default_recovery);
+    ]
+  in
+  let results =
+    (* Each row rebuilds its own tree and scheduler; only the immutable
+       schedule and pool are shared, so the fan-out is jobs-invariant. *)
+    Par.map
+      (fun (name, maker, ha, recovery) ->
+        let tree = Tree.create spec in
+        let sched =
+          match maker with `Cm -> Driver.cm tree | `Backup -> Driver.backup tree
+        in
+        let cfg = { base_cfg with ha } in
+        (name, Runner.run_with_failures ~recovery sched tree pool cfg
+                 ~failures:schedule))
+      rows
+  in
+  let t =
+    Table.create
+      ~caption:
+        (Printf.sprintf
+           "Failure campaign: %d ToR failures (repaired, seed %d) injected \
+            into %d arrivals at load %.0f%%; stranded tenants re-embedded by \
+            the recovery ladder (full TAG under anti-affinity, then no-HA, \
+            then partial at 75%%/50%%).  WCS slack = realized minus \
+            predicted survival at the injection level (>= 0 by Eq. 7)"
+           (Failure.n_events schedule) p.seed p.arrivals (100. *. p.load))
+      [
+        ("policy", Table.Left);
+        ("accepted", Table.Right);
+        ("affected", Table.Right);
+        ("restored", Table.Right);
+        ("partial", Table.Right);
+        ("stranded", Table.Right);
+        ("mean TTR", Table.Right);
+        ("downtime", Table.Right);
+        ("WCS slack", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, (r : Runner.failure_result)) ->
+      Table.add_row t
+        [
+          name;
+          string_of_int r.base.Runner.accepted;
+          string_of_int r.tenants_affected;
+          string_of_int r.recovered_full;
+          string_of_int r.recovered_partial;
+          string_of_int r.stranded;
+          Printf.sprintf "%.1f" r.mean_time_to_restore;
+          Printf.sprintf "%.0f" r.total_downtime;
+          (if Float.is_finite r.wcs_slack_min then
+             Printf.sprintf "%.3f" r.wcs_slack_min
+           else "-");
+        ])
+    results;
+  (match results with
+  | (_, (r : Runner.failure_result)) :: _ ->
+      Metrics.set g_fail_events (float_of_int r.events_injected);
+      Metrics.set g_fail_affected (float_of_int r.tenants_affected);
+      Metrics.set g_fail_recovered
+        (float_of_int (r.recovered_full + r.recovered_partial));
+      Metrics.set g_fail_stranded (float_of_int r.stranded);
+      Metrics.set g_fail_mean_ttr r.mean_time_to_restore;
+      Metrics.set g_fail_slack
+        (if Float.is_finite r.wcs_slack_min then r.wcs_slack_min else 0.)
+  | [] -> ());
+  [ t; failure_oracle ~seed:p.seed ]
+
+let recovery_to_string = function
+  | `None -> "none"
+  | `Lag k -> Printf.sprintf "lag %d" k
+
+let enforce_failures ~seed =
+  let epochs = 60 in
+  let rows =
+    [
+      (Elastic.Tag_gp, `Lag 1);
+      (Elastic.Tag_gp, `Lag 4);
+      (Elastic.Tag_gp, `None);
+      (Elastic.Hose_gp, `Lag 1);
+    ]
+  in
+  let results =
+    Par.map
+      (fun (e, recovery) ->
+        Scenario.failures ~seed ~epochs ~recovery ~mean_repair:6. e)
+      rows
+  in
+  let t =
+    Table.create
+      ~caption:
+        (Printf.sprintf
+           "Enforcement under rack failures: 16 workers on 4 racks into one \
+            sink, the seed-%d failure schedule replayed through the control \
+            loop (%d epochs, mean repair 6).  Guarantee-downtime counts \
+            VM-epochs with no flow or a violated GP guarantee; faster \
+            recovery (smaller lag) must not increase it"
+           seed epochs)
+      [
+        ("enforcement", Table.Left);
+        ("recovery", Table.Left);
+        ("events", Table.Right);
+        ("down VM-epochs", Table.Right);
+        ("downtime", Table.Right);
+        ("restores", Table.Right);
+        ("mean restore", Table.Right);
+        ("violations", Table.Right);
+        ("reconverge periods", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (r : Scenario.failures_result) ->
+      Table.add_row t
+        [
+          Elastic.enforcement_to_string r.f_enforcement;
+          recovery_to_string r.f_recovery;
+          string_of_int r.f_events;
+          string_of_int r.vm_epochs_down;
+          Printf.sprintf "%.1f%%" (100. *. r.downtime_fraction);
+          string_of_int r.restores;
+          Printf.sprintf "%.1f" r.mean_restore_epochs;
+          string_of_int r.guarantee_violations;
+          Printf.sprintf "%.1f" r.reconverge_periods_mean;
+        ])
+    results;
+  (match results with
+  | lag1 :: _ :: none :: _ ->
+      Metrics.set g_enf_downtime_lag1 lag1.Scenario.downtime_fraction;
+      Metrics.set g_enf_downtime_none none.Scenario.downtime_fraction
+  | _ -> ());
+  t
+
 (* {1 TAG inference} *)
 
 type ami_summary = {
@@ -1139,6 +1390,8 @@ let sections ~params:p =
       one (fun () -> fig12 ~laa_level:1 p ~bmaxes:[ 600.; 800.; 1000. ]) );
     ("fig13", one fig13);
     ("enforce-churn", one (fun () -> enforce_churn ~seed:p.seed));
+    ("sim-failures", fun () -> sim_failures p);
+    ("enforce-failures", one (fun () -> enforce_failures ~seed:p.seed));
     ("e2e", one (fun () -> end_to_end ~seed:p.seed ~bmax:p.bmax));
     ("profiles", one (fun () -> profiles ~seed:p.seed));
     ("prediction", one (fun () -> prediction ~seed:p.seed));

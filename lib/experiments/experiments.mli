@@ -93,6 +93,37 @@ val enforce_churn : seed:int -> Cm_util.Table.t
     convergence rate, and the fraction of epochs meeting the 450 Mbps
     trunk guarantee. *)
 
+(** {1 Failure & survivability campaign (ISSUE 6)} *)
+
+val sim_failures : sim_params -> Cm_util.Table.t list
+(** The placement-side failure campaign: a seeded schedule of correlated
+    ToR failures (with repairs) injected mid-run via
+    {!Cm_sim.Runner.run_with_failures}, compared across four policies —
+    CloudMirror with anti-affinity and the recovery ladder, the same
+    without anti-affinity, anti-affinity with recovery disabled, and the
+    backup-bandwidth baseline (Yu et al., PAPERS.md) that scales every
+    guarantee by 1.3 at admission.  Scores tenants affected, restores
+    (full/partial), stranded incidents, mean time-to-restore, total
+    guarantee downtime, and the minimum realized-minus-predicted WCS
+    slack (non-negative by Eq. 7 when measured at the injection level).
+
+    The second table is the exhaustive-injection oracle on a small
+    deployment: measured worst-case survival must equal the Eq. 7
+    prediction with gap 0 at every level.
+
+    Gauges for the CI failure-smoke lane: [failures.events],
+    [failures.affected], [failures.recovered], [failures.stranded],
+    [failures.mean_ttr], [failures.wcs_slack_min] (>= 0),
+    [failures.oracle_gap] (= 0), [failures.oracle_domains]. *)
+
+val enforce_failures : seed:int -> Cm_util.Table.t
+(** The enforcement-side replay ({!Cm_enforce.Scenario.failures}): the
+    same schedule family darkens rack links under the live control loop,
+    and guarantee-downtime VM-epochs are measured on flows for recovery
+    policies none / lag-4 / lag-1 (plus a hose row).  Sets
+    [failures.enforce.downtime_lag1] / [failures.enforce.downtime_none]
+    — faster recovery must not increase downtime. *)
+
 (** {1 TAG inference (§3)} *)
 
 type ami_summary = {

@@ -128,6 +128,20 @@ let round_robin tree =
         (fun p -> Reservation.release tree p.Cm_placement.Types.committed);
     }
 
+let backup ?(factor = 1.3) tree =
+  if factor < 1. then invalid_arg "Driver.backup: factor must be >= 1";
+  let sched = Cm.create ~policy:Cm.default_policy tree in
+  instrument
+    {
+      sched_name = "CM+backup";
+      place =
+        (fun (req : Cm_placement.Types.request) ->
+          Cm.place sched
+            (Cm_placement.Types.request ?ha:req.ha
+               (Cm_tag.Tag.scale_bw req.tag factor)));
+      release = Cm.release sched;
+    }
+
 let vc tree =
   let sched = Oktopus.create tree in
   instrument

@@ -32,6 +32,14 @@ val round_robin : Cm_topology.Tree.t -> scheduler
     evaluation uses it to show that enforcement cannot rescue an
     unchecked placement.  Named ["RR"]. *)
 
+val backup : ?factor:float -> Cm_topology.Tree.t -> scheduler
+(** Survivable-embedding baseline (Yu et al., PAPERS.md): CloudMirror
+    placement of every TAG with all guarantees scaled by [factor]
+    (default 1.3), modelling backup bandwidth reserved up front so a
+    failed VM can be restarted elsewhere with its guarantee intact.
+    Contrast with CloudMirror's anti-affinity + recovery re-placement,
+    which spends nothing until a failure happens.  Named ["CM+backup"]. *)
+
 val vc : Cm_topology.Tree.t -> scheduler
 (** Oktopus placing the homogeneous virtual-cluster rendering of each
     tenant ({!Cm_tag.Convert.to_vc}) — the VC baseline §5.1 reports as

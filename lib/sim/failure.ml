@@ -3,6 +3,36 @@ module Tag = Cm_tag.Tag
 module Types = Cm_placement.Types
 module Wcs = Cm_placement.Wcs
 
+type event = { at : float; domain_index : int; repair_after : float option }
+type schedule = { level : int; events : event list }
+
+let schedule rng ~n_domains ~level ~horizon ~rate ?mean_repair () =
+  if n_domains <= 0 then invalid_arg "Failure.schedule: n_domains must be positive";
+  if rate <= 0. then invalid_arg "Failure.schedule: rate must be positive";
+  if horizon <= 0. then invalid_arg "Failure.schedule: horizon must be positive";
+  (match mean_repair with
+  | Some m when m <= 0. ->
+      invalid_arg "Failure.schedule: mean_repair must be positive"
+  | _ -> ());
+  let module Rng = Cm_util.Rng in
+  let rec gen t acc =
+    let t = t +. Rng.exponential rng ~rate in
+    if t > horizon then List.rev acc
+    else
+      let domain_index = Rng.int rng n_domains in
+      let repair_after =
+        (* Draw unconditionally-in-order: the repair stream depends only on
+           the event count, not on whether repairs are enabled elsewhere. *)
+        match mean_repair with
+        | Some m -> Some (Rng.exponential rng ~rate:(1. /. m))
+        | None -> None
+      in
+      gen t ({ at = t; domain_index; repair_after } :: acc)
+  in
+  { level; events = gen 0. [] }
+
+let n_events s = List.length s.events
+
 type tenant_outcome = {
   tenant_name : string;
   predicted_wcs : float array;

@@ -8,6 +8,49 @@
     the placement metadata — while random sampling models operational
     failure rates. *)
 
+(** {1 Correlated failure schedules}
+
+    A schedule is a seeded trace of whole-fault-domain failures: each
+    event kills {e every} server under one node of a chosen tree level
+    (rack, ToR, aggregation...) at a simulated time, optionally repaired
+    after a delay.  Events are level-agnostic — [domain_index] indexes an
+    abstract universe of [n_domains] fault domains — so the same trace
+    can be replayed against a placement simulation (domains =
+    [Tree.nodes_at_level]) and against the enforcement runtime (domains =
+    rack links), keeping predicted and realized survivability
+    comparable. *)
+
+type event = {
+  at : float;  (** Failure time, same clock as the consumer. *)
+  domain_index : int;  (** Index into the consumer's fault-domain array. *)
+  repair_after : float option;
+      (** Delay until the domain comes back; [None] = never repaired. *)
+}
+
+type schedule = {
+  level : int;
+      (** Tree level of the fault domains (0 = servers).  Consumers
+          without a tree (enforcement) may ignore it. *)
+  events : event list;  (** Ascending in [at]. *)
+}
+
+val schedule :
+  Cm_util.Rng.t ->
+  n_domains:int ->
+  level:int ->
+  horizon:float ->
+  rate:float ->
+  ?mean_repair:float ->
+  unit ->
+  schedule
+(** Poisson failure arrivals at [rate] over [(0, horizon]], each hitting a
+    uniformly drawn domain; repair delays are Exp(1/[mean_repair]) when
+    given.  Deterministic in the generator state: equal seeds yield equal
+    traces, so the sim and enforcement campaigns replay the {e same}
+    failures. *)
+
+val n_events : schedule -> int
+
 type tenant_outcome = {
   tenant_name : string;
   predicted_wcs : float array;  (** Per component (paper's WCS). *)

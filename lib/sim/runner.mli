@@ -55,6 +55,85 @@ val run :
   Driver.scheduler -> Cm_topology.Tree.t -> Cm_workload.Pool.t -> config ->
   result
 
+(** {1 Failure campaign (§4.5 extended)}
+
+    [run_with_failures] is {!run} with a correlated {!Failure.schedule}
+    replayed against the live simulation: each event kills one fault
+    domain at the schedule's level, releases every tenant with a VM
+    inside it, blockades the dead subtree's slots (so neither arrivals
+    nor recoveries can land there until repair), and runs a recovery
+    re-placement pass over the stranded tenants.
+
+    {b Two levels, two meanings.}  [config.wcs_level] is where the base
+    result's admission-time WCS is {e reported}; [failures.level] is
+    where faults are {e injected} and where predicted-vs-realized slack
+    is scored.  The Eq. 7 prediction only bounds realized survival when
+    the two agree (or when the request's own [laa_level] is at least the
+    injection level) — a placement anti-affine across servers says
+    nothing about losing a whole ToR.  [wcs_slack_min] is therefore
+    computed against a prediction recomputed at [failures.level]. *)
+
+type recovery_policy = {
+  max_attempts : int;
+      (** Recovery attempts per stranded tenant before giving up; [0]
+          disables recovery entirely. *)
+  recover_ha : Cm_placement.Types.ha_spec option;
+      (** Anti-affinity spec for the first ladder rung; [None] reuses
+          the tenant's original spec. *)
+  degrade_no_ha : bool;
+      (** Second rung: retry the full TAG without anti-affinity. *)
+  partial_fractions : float list;
+      (** Remaining rungs: shrink every component to [frac * size]
+          (at least 1 VM), per-VM guarantees unchanged — TAG
+          auto-scaling as graceful degradation. *)
+}
+
+val default_recovery : recovery_policy
+(** 6 attempts, original HA then no-HA, partial fractions 0.75 and 0.5. *)
+
+type failure_result = {
+  base : result;  (** The usual admission statistics. *)
+  events_injected : int;
+  events_repaired : int;
+  tenants_affected : int;  (** (event, tenant) incidents. *)
+  vms_lost : int;
+  recovered_full : int;
+  recovered_partial : int;
+  stranded : int;  (** Incidents closed without a restore. *)
+  recovery_attempts : int;
+  mean_time_to_restore : float;  (** Over restored incidents; sim time. *)
+  max_time_to_restore : float;
+  total_downtime : float;
+      (** Sum over incidents of restore (or departure/end) minus failure
+          time. *)
+  wcs_slack_min : float;
+      (** Minimum over (event, tenant, component) of realized survival
+          minus the Eq. 7 prediction at [failures.level]; non-negative
+          whenever requests are anti-affine at (or above) that level.
+          [infinity] when no live tenant was ever hit. *)
+}
+
+val horizon : Cm_topology.Tree.t -> Cm_workload.Pool.t -> config -> float
+(** Expected sim-time span of a run — [n_arrivals / lambda] — for sizing
+    failure schedules against a given tree, pool, and load. *)
+
+val run_with_failures :
+  ?recovery:recovery_policy ->
+  ?inspect:(Cm_topology.Tree.t -> Cm_placement.Types.placement list -> unit) ->
+  Driver.scheduler ->
+  Cm_topology.Tree.t ->
+  Cm_workload.Pool.t ->
+  config ->
+  failures:Failure.schedule ->
+  failure_result
+(** Deterministic in [config.seed] and the schedule.  With an empty
+    schedule the [base] result is bit-identical to {!run}.  [?inspect]
+    is called after every processed fault event (injection and repair)
+    with the live placements in admission order — the test suite uses it
+    to audit reservation consistency mid-run.  On return the tree is
+    pristine: all tenants drained, all blockades (including
+    never-repaired ones) released. *)
+
 val run_replications :
   ?domains:int ->
   Driver.maker ->

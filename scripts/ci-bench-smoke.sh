@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# CI bench smoke: run one bench section with telemetry on and gate the
+# metrics document it writes.
+#
+#   scripts/ci-bench-smoke.sh <section> [bench args...]
+#
+# <section> is any name from the bench dispatch table
+# (Cm_experiments.Experiments.sections plus the microbenchmark
+# sections); passing an unknown name fails fast with the bench usage
+# message, so this script and the experiment library cannot drift.  The
+# document lands in bench_<section>.json (dashes become underscores).
+#
+# The gate is scripts/gates/<section>.py; sections without one are gated
+# on schema validity alone.  Gates check schema and invariants, never
+# wall-clock — CI machines are too noisy for timing gates; headline
+# numbers live in the committed BENCH_pr*.json baselines.
+set -euo pipefail
+
+if [ $# -lt 1 ]; then
+  echo "usage: $0 <section> [bench args...]" >&2
+  exit 2
+fi
+
+section=$1
+shift
+out="bench_${section//-/_}.json"
+here=$(cd "$(dirname "$0")" && pwd)
+
+run() {
+  if command -v opam >/dev/null 2>&1; then
+    opam exec -- "$@"
+  else
+    "$@"
+  fi
+}
+
+run dune exec bench/main.exe -- "$@" "$section" --metrics-out "$out"
+
+gate="$here/gates/${section//-/_}.py"
+if [ -f "$gate" ]; then
+  python3 "$gate" "$out"
+else
+  python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc.get("schema") == "cloudmirror.metrics/1", doc.get("schema")
+print(sys.argv[1] + ": schema OK")
+' "$out"
+fi

@@ -1,0 +1,23 @@
+"""Shared helpers for the CI bench-smoke gates.
+
+A gate receives the path of a metrics document written by
+``bench/main.exe --metrics-out`` and asserts schema and content
+invariants.  Gates never assert wall-clock durations -- CI machines are
+too noisy -- only presence, counts, and order relations.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc.get("schema") == "cloudmirror.metrics/1", doc.get("schema")
+    return doc
+
+
+def main(check):
+    path = sys.argv[1]
+    check(load(path))
+    print(path + ": OK")

@@ -1,0 +1,29 @@
+"""Gate for the enforcement control-loop benchmark: 10k-flow
+epoch-compiled engine vs the per-period reference loop.  Gates on the
+metrics schema and on the compiled engine winning at all (speedup > 1,
+asserted loosely); wall-clock gates are left to the committed
+BENCH_pr4.json baseline."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+import common
+
+
+def check(doc):
+    g = doc["gauges"]
+    for k in (
+        "bench.enforce.flows",
+        "bench.enforce.links",
+        "bench.enforce.period_us_new",
+        "bench.enforce.period_us_reference",
+        "bench.enforce.speedup",
+    ):
+        assert k in g and g[k] > 0, k
+    assert g["bench.enforce.flows"] >= 10000, g["bench.enforce.flows"]
+    assert g["bench.enforce.speedup"] > 1.0, g["bench.enforce.speedup"]
+    assert "section.enforce" in doc["spans"]
+
+
+common.main(check)

@@ -1,0 +1,26 @@
+"""Gate for the enforcement-side failure replay: guarantee-downtime is
+measured on live flows and faster recovery must not increase it."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+import common
+
+
+def check(doc):
+    g = doc["gauges"]
+    for k in (
+        "failures.enforce.downtime_lag1",
+        "failures.enforce.downtime_none",
+    ):
+        assert k in g, k
+    lag1 = g["failures.enforce.downtime_lag1"]
+    none = g["failures.enforce.downtime_none"]
+    assert 0.0 <= lag1 <= 1.0, lag1
+    assert 0.0 <= none <= 1.0, none
+    assert lag1 <= none + 1e-9, (lag1, none)
+    assert "section.enforce-failures" in doc["spans"]
+
+
+common.main(check)

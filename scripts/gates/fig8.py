@@ -1,0 +1,15 @@
+"""Gate for the fig8 smoke: the telemetry path end to end -- the bench
+ran the section under a timed span and wrote a well-formed document."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+import common
+
+
+def check(doc):
+    assert "section.fig8" in doc["spans"], sorted(doc["spans"])
+
+
+common.main(check)

@@ -1,0 +1,30 @@
+"""Gate for the inference hot-path benchmark: dense vs CSR clustering
+pipeline race.  The bench itself aborts if the two pipelines' labels
+diverge, so this gates on correctness (labels_match) and on the CSR
+path winning at all (speedup > 1); the 5x-class headline number lives
+in the committed BENCH_pr5.json baseline, not in noisy CI."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+import common
+
+
+def check(doc):
+    g = doc["gauges"]
+    for k in (
+        "bench.inference.n_vms",
+        "bench.inference.traffic_nnz",
+        "bench.inference.dense_ms",
+        "bench.inference.csr_ms",
+        "bench.inference.speedup",
+    ):
+        assert k in g and g[k] > 0, k
+    assert g["bench.inference.n_vms"] >= 1024, g["bench.inference.n_vms"]
+    assert g["bench.inference.labels_match"] == 1.0
+    assert g["bench.inference.speedup"] > 1.0, g["bench.inference.speedup"]
+    assert "section.inference" in doc["spans"]
+
+
+common.main(check)

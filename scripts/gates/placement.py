@@ -1,0 +1,24 @@
+"""Gate for the placement hot-path microbenchmark: the expected gauges
+exist and are positive.  Regressions are bisected offline against the
+committed BENCH_pr3.json baseline, never on CI wall-clock."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+import common
+
+
+def check(doc):
+    g = doc["gauges"]
+    for k in (
+        "bench.placement.tenants_per_sec",
+        "bench.placement.ops_per_sec",
+        "bench.placement.fig8_point_wall_s",
+        "bench.placement.arrivals",
+    ):
+        assert k in g and g[k] > 0, k
+    assert "section.placement" in doc["spans"]
+
+
+common.main(check)

@@ -716,6 +716,68 @@ let prop_guarantees_always_met =
         (fun g (_, r) -> r +. 1e-6 >= g)
         gs (Array.to_list rates))
 
+(* {1 Enforcement under rack failures} *)
+
+let test_failures_deterministic_and_consistent () =
+  let go () : Scenario.failures_result =
+    Scenario.failures ~seed:7 ~epochs:40 ~recovery:(`Lag 1) ~mean_repair:6.
+      Elastic.Tag_gp
+  in
+  let a = go () and b = go () in
+  Alcotest.(check int) "events" a.f_events b.f_events;
+  Alcotest.(check int) "vm-epochs down" a.vm_epochs_down b.vm_epochs_down;
+  Alcotest.(check (float 0.)) "downtime" a.downtime_fraction
+    b.downtime_fraction;
+  Alcotest.(check int) "restores" a.restores b.restores;
+  Alcotest.(check int) "one point per epoch" 40 (List.length a.f_points);
+  List.iter
+    (fun (p : Scenario.failure_epoch) ->
+      (* 4 racks x 4 workers: every VM is either live or down. *)
+      Alcotest.(check int) "vm conservation" 16 (p.live_vms + p.down_vms);
+      Alcotest.(check bool) "violated <= live" true
+        (p.violated_vms <= p.live_vms))
+    a.f_points
+
+let test_failures_recovery_cuts_downtime () =
+  let run recovery : Scenario.failures_result =
+    Scenario.failures ~seed:7 ~epochs:60 ~recovery ~mean_repair:6.
+      Elastic.Tag_gp
+  in
+  let lag1 = run (`Lag 1) and lag4 = run (`Lag 4) and none = run `None in
+  Alcotest.(check bool) "failures caused downtime" true
+    (none.downtime_fraction > 0.);
+  Alcotest.(check bool)
+    (Printf.sprintf "lag1 %.3f <= lag4 %.3f" lag1.downtime_fraction
+       lag4.downtime_fraction)
+    true
+    (lag1.downtime_fraction <= lag4.downtime_fraction +. 1e-9);
+  Alcotest.(check bool)
+    (Printf.sprintf "lag4 %.3f <= none %.3f" lag4.downtime_fraction
+       none.downtime_fraction)
+    true
+    (lag4.downtime_fraction <= none.downtime_fraction +. 1e-9);
+  (* Without re-homing, comebacks only happen at rack repair. *)
+  Alcotest.(check bool) "repair-driven restores" true (none.restores > 0);
+  Alcotest.(check bool) "re-homing restores at least as much" true
+    (lag1.restores >= none.restores);
+  Alcotest.(check bool) "faster recovery restores sooner" true
+    (lag1.mean_restore_epochs <= none.mean_restore_epochs +. 1e-9)
+
+let test_failures_guarantees_feasible_throughout () =
+  (* Rack capacities admit any re-homing, so GP stays feasible and live
+     flows never miss their guarantee — downtime is pure absence, which
+     is exactly what recovery speed controls. *)
+  List.iter
+    (fun (recovery, enforcement) ->
+      let r : Scenario.failures_result =
+        Scenario.failures ~seed:7 ~epochs:40 ~recovery ~mean_repair:6.
+          enforcement
+      in
+      Alcotest.(check int) "no guarantee violations" 0
+        r.guarantee_violations)
+    [ (`Lag 1, Elastic.Tag_gp); (`None, Elastic.Tag_gp);
+      (`Lag 1, Elastic.Hose_gp) ]
+
 let () =
   Alcotest.run "cm_enforce"
     [
@@ -801,6 +863,15 @@ let () =
           Alcotest.test_case "TAG meets guarantee" `Quick
             test_churn_tag_meets_guarantee;
           Alcotest.test_case "hose fails" `Quick test_churn_hose_fails;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "deterministic and consistent" `Quick
+            test_failures_deterministic_and_consistent;
+          Alcotest.test_case "recovery cuts downtime" `Quick
+            test_failures_recovery_cuts_downtime;
+          Alcotest.test_case "guarantees stay feasible" `Quick
+            test_failures_guarantees_feasible_throughout;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

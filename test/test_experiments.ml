@@ -135,6 +135,32 @@ let test_fig10_includes_vc () =
   let t = E.fig10 { small with arrivals = 120 } in
   Alcotest.(check bool) "OVC row" true (contains (rendered t) "OVC")
 
+let test_sim_failures_experiment () =
+  let tables = E.sim_failures small in
+  Alcotest.(check int) "campaign + oracle" 2 (List.length tables);
+  let campaign = rendered (List.nth tables 0) in
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) (row ^ " row present") true (contains campaign row))
+    [
+      "CM anti-affine + recovery";
+      "CM no-HA + recovery";
+      "no recovery";
+      "CM+backup";
+    ];
+  let oracle = rendered (List.nth tables 1) in
+  (* Every level's max |realized - predicted| renders as 0.00e+00; any
+     non-zero gap would carry a negative exponent. *)
+  Alcotest.(check bool) "oracle gap zero" true (contains oracle "0.00e+00");
+  Alcotest.(check bool) "no non-zero gap" false (contains oracle "e-0")
+
+let test_enforce_failures_experiment () =
+  let s = rendered (E.enforce_failures ~seed:3) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains s needle))
+    [ "lag 1"; "lag 4"; "none"; "hose" ]
+
 (* The determinism contract of the parallel engine: a sweep renders the
    same table whether it runs on one domain or four. *)
 let with_jobs jobs f =
@@ -160,6 +186,19 @@ let test_parallel_replicates_identical () =
 let test_parallel_enforce_churn_identical () =
   let sweep () = rendered (E.enforce_churn ~seed:5) in
   Alcotest.(check string) "enforce-churn identical under --jobs 1 and --jobs 4"
+    (with_jobs 1 sweep) (with_jobs 4 sweep)
+
+let test_parallel_sim_failures_identical () =
+  let sweep () =
+    String.concat "\n" (List.map rendered (E.sim_failures small))
+  in
+  Alcotest.(check string) "sim-failures identical under --jobs 1 and --jobs 4"
+    (with_jobs 1 sweep) (with_jobs 4 sweep)
+
+let test_parallel_enforce_failures_identical () =
+  let sweep () = rendered (E.enforce_failures ~seed:3) in
+  Alcotest.(check string)
+    "enforce-failures identical under --jobs 1 and --jobs 4"
     (with_jobs 1 sweep) (with_jobs 4 sweep)
 
 let test_parallel_ami_identical () =
@@ -205,6 +244,9 @@ let () =
           Alcotest.test_case "profiles" `Quick test_profiles_experiment;
           Alcotest.test_case "ami sensitivity" `Slow test_ami_sensitivity;
           Alcotest.test_case "fig10 includes VC" `Slow test_fig10_includes_vc;
+          Alcotest.test_case "sim-failures" `Quick test_sim_failures_experiment;
+          Alcotest.test_case "enforce-failures" `Quick
+            test_enforce_failures_experiment;
         ] );
       ( "parallel-engine",
         [
@@ -216,5 +258,9 @@ let () =
             test_parallel_enforce_churn_identical;
           Alcotest.test_case "ami jobs-invariant" `Quick
             test_parallel_ami_identical;
+          Alcotest.test_case "sim-failures jobs-invariant" `Quick
+            test_parallel_sim_failures_identical;
+          Alcotest.test_case "enforce-failures jobs-invariant" `Quick
+            test_parallel_enforce_failures_identical;
         ] );
     ]

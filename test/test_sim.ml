@@ -362,6 +362,313 @@ let test_failure_survival_direct () =
   let s2 = Failure.survival tree tag locations ~domain:servers.(5) ~laa_level:0 in
   Alcotest.(check (float 1e-9)) "unaffected" 1. s2.(0)
 
+(* {1 Failure campaign: correlated schedules + recovery} *)
+
+module Wcs = Cm_placement.Wcs
+
+let test_failure_schedule_deterministic () =
+  let make () =
+    Failure.schedule (Cm_util.Rng.create 9) ~n_domains:16 ~level:1
+      ~horizon:100. ~rate:0.2 ~mean_repair:10. ()
+  in
+  let a = make () and b = make () in
+  Alcotest.(check int) "same length" (Failure.n_events a) (Failure.n_events b);
+  Alcotest.(check bool) "some events" true (Failure.n_events a > 0);
+  List.iter2
+    (fun (x : Failure.event) (y : Failure.event) ->
+      Alcotest.(check (float 0.)) "same time" x.at y.at;
+      Alcotest.(check int) "same domain" x.domain_index y.domain_index)
+    a.events b.events;
+  let last = ref 0. in
+  List.iter
+    (fun (e : Failure.event) ->
+      Alcotest.(check bool) "ascending" true (e.at >= !last);
+      last := e.at;
+      Alcotest.(check bool) "within horizon" true (e.at > 0. && e.at <= 100.);
+      Alcotest.(check bool) "domain in range" true
+        (e.domain_index >= 0 && e.domain_index < 16);
+      match e.repair_after with
+      | Some d -> Alcotest.(check bool) "repair positive" true (d > 0.)
+      | None -> Alcotest.fail "mean_repair given, repair delay expected")
+    a.events;
+  let permanent =
+    Failure.schedule (Cm_util.Rng.create 9) ~n_domains:16 ~level:1
+      ~horizon:100. ~rate:0.2 ()
+  in
+  List.iter
+    (fun (e : Failure.event) ->
+      Alcotest.(check bool) "no repair drawn" true (e.repair_after = None))
+    permanent.events
+
+let test_failure_schedule_validates () =
+  let bad name f =
+    try
+      f ();
+      Alcotest.failf "%s: expected Invalid_argument" name
+    with Invalid_argument _ -> ()
+  in
+  let rng () = Cm_util.Rng.create 1 in
+  bad "n_domains 0" (fun () ->
+      ignore
+        (Failure.schedule (rng ()) ~n_domains:0 ~level:1 ~horizon:10. ~rate:1.
+           ()));
+  bad "horizon 0" (fun () ->
+      ignore
+        (Failure.schedule (rng ()) ~n_domains:4 ~level:1 ~horizon:0. ~rate:1.
+           ()));
+  bad "rate 0" (fun () ->
+      ignore
+        (Failure.schedule (rng ()) ~n_domains:4 ~level:1 ~horizon:10. ~rate:0.
+           ()));
+  bad "mean_repair 0" (fun () ->
+      ignore
+        (Failure.schedule (rng ()) ~n_domains:4 ~level:1 ~horizon:10. ~rate:1.
+           ~mean_repair:0. ()))
+
+let campaign_cfg seed =
+  {
+    Runner.default_config with
+    seed;
+    n_arrivals = 250;
+    load = 0.9;
+    ha = Some { Types.rwcs = 0.25; laa_level = 1 };
+    wcs_level = 1;
+  }
+
+(* Build a rack-level schedule sized against the run's horizon and drive
+   [run_with_failures]; returns the tree so callers can audit it. *)
+let run_campaign ?recovery ?inspect ~repair ~seed () =
+  let cfg = campaign_cfg seed in
+  let tree = Tree.create small_spec in
+  let horizon = Runner.horizon tree scaled cfg in
+  let racks = Array.length (Tree.nodes_at_level tree 1) in
+  let failures =
+    Failure.schedule
+      (Cm_util.Rng.create (seed + 100))
+      ~n_domains:racks ~level:1 ~horizon ~rate:(6. /. horizon)
+      ?mean_repair:(if repair then Some (horizon /. 8.) else None)
+      ()
+  in
+  let r =
+    Runner.run_with_failures ?recovery ?inspect (Driver.cm tree) tree scaled
+      cfg ~failures
+  in
+  (tree, failures, r)
+
+let check_pristine tree =
+  Alcotest.(check int) "slots restored" (Tree.total_slots tree)
+    (Tree.free_slots_subtree tree (Tree.root tree));
+  for node = 0 to Tree.n_nodes tree - 1 do
+    Alcotest.(check bool) "bw restored" true
+      (Float.abs (Tree.reserved_up tree node) < 1e-3
+      && Float.abs (Tree.reserved_down tree node) < 1e-3)
+  done
+
+let test_failures_empty_schedule_is_run () =
+  (* With no events, [run_with_failures] is [run] bit-for-bit: same RNG
+     draw order, same admissions, same WCS samples. *)
+  let cfg = campaign_cfg 42 in
+  let tree = Tree.create small_spec in
+  let plain = Runner.run (Driver.cm tree) tree scaled cfg in
+  let tree2 = Tree.create small_spec in
+  let fr =
+    Runner.run_with_failures (Driver.cm tree2) tree2 scaled cfg
+      ~failures:{ Failure.level = 1; events = [] }
+  in
+  Alcotest.(check int) "accepted" plain.accepted fr.base.accepted;
+  Alcotest.(check (float 0.)) "rejected bw" plain.rejected_bw
+    fr.base.rejected_bw;
+  Alcotest.(check (float 0.)) "mean util" plain.mean_utilization
+    fr.base.mean_utilization;
+  Alcotest.(check int) "wcs samples"
+    (Array.length plain.wcs_per_component)
+    (Array.length fr.base.wcs_per_component);
+  Array.iteri
+    (fun i w ->
+      Alcotest.(check (float 0.)) "wcs sample" w fr.base.wcs_per_component.(i))
+    plain.wcs_per_component;
+  Alcotest.(check int) "no events" 0 fr.events_injected;
+  Alcotest.(check bool) "slack infinite" true (fr.wcs_slack_min = infinity)
+
+let test_failures_campaign_invariants () =
+  let tree, failures, r = run_campaign ~repair:true ~seed:42 () in
+  Alcotest.(check int) "all events injected" (Failure.n_events failures)
+    r.events_injected;
+  Alcotest.(check bool) "repairs bounded" true
+    (r.events_repaired <= r.events_injected);
+  Alcotest.(check bool) "some tenant hit" true (r.tenants_affected > 0);
+  Alcotest.(check int) "incidents close exactly once" r.tenants_affected
+    (r.recovered_full + r.recovered_partial + r.stranded);
+  let restored = r.recovered_full + r.recovered_partial in
+  Alcotest.(check bool) "restores cost attempts" true
+    (r.recovery_attempts >= restored);
+  Alcotest.(check bool) "something restored" true (restored > 0);
+  (* The first recovery attempt is deferred to the next simulation tick,
+     so a restore is never instantaneous. *)
+  Alcotest.(check bool) "ttr positive" true (r.mean_time_to_restore > 0.);
+  Alcotest.(check bool) "max ttr >= mean ttr" true
+    (r.max_time_to_restore +. 1e-9 >= r.mean_time_to_restore);
+  Alcotest.(check bool) "downtime covers restored incidents" true
+    (r.total_downtime +. 1e-9
+    >= r.mean_time_to_restore *. float_of_int restored);
+  check_pristine tree
+
+let test_failures_deterministic () =
+  let go () =
+    let _, _, r = run_campaign ~repair:true ~seed:42 () in
+    r
+  in
+  let a = go () and b = go () in
+  Alcotest.(check int) "accepted" a.base.accepted b.base.accepted;
+  Alcotest.(check int) "affected" a.tenants_affected b.tenants_affected;
+  Alcotest.(check int) "restored"
+    (a.recovered_full + a.recovered_partial)
+    (b.recovered_full + b.recovered_partial);
+  Alcotest.(check (float 0.)) "downtime" a.total_downtime b.total_downtime;
+  Alcotest.(check (float 0.)) "mean ttr" a.mean_time_to_restore
+    b.mean_time_to_restore
+
+let test_failures_permanent_blockades_released () =
+  (* Never-repaired domains stay blockaded to the end of the run; the
+     drain must still hand the tree back pristine. *)
+  let tree, _, r = run_campaign ~repair:false ~seed:7 () in
+  Alcotest.(check int) "nothing repaired" 0 r.events_repaired;
+  Alcotest.(check bool) "events injected" true (r.events_injected > 0);
+  check_pristine tree
+
+let test_failures_wcs_slack_nonneg () =
+  (* Eq. 7 predictions are recomputed from actual locations at the
+     injection level, so realized survival can never undershoot them. *)
+  let _, _, r = run_campaign ~repair:true ~seed:11 () in
+  Alcotest.(check bool) "some tenant hit" true (r.tenants_affected > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "slack %.3f >= 0" r.wcs_slack_min)
+    true
+    (r.wcs_slack_min >= -1e-9)
+
+let test_failures_no_recovery_strands_all () =
+  let recovery = { Runner.default_recovery with max_attempts = 0 } in
+  let _, _, r = run_campaign ~recovery ~repair:true ~seed:42 () in
+  Alcotest.(check bool) "some tenant hit" true (r.tenants_affected > 0);
+  Alcotest.(check int) "no full restores" 0 r.recovered_full;
+  Alcotest.(check int) "no partial restores" 0 r.recovered_partial;
+  Alcotest.(check int) "no attempts" 0 r.recovery_attempts;
+  Alcotest.(check int) "all stranded" r.tenants_affected r.stranded
+
+let test_failures_inspect_reservations_consistent () =
+  (* After every injection and repair the live placements must re-price
+     to exactly the tree's bandwidth reservations (blockades hold slots,
+     never bandwidth, so they are invisible to this audit). *)
+  let audits = ref 0 in
+  let inspect tree live =
+    incr audits;
+    let accounted =
+      Reserved_bw.account tree live ~model:Cm_tag.Bandwidth.Tag_model
+    in
+    for l = 0 to Tree.n_levels tree - 2 do
+      let live_up, _ = Tree.reserved_at_level tree ~level:l in
+      Alcotest.(check (float 0.5))
+        (Printf.sprintf "audit %d level %d" !audits l)
+        (live_up /. 1000.) accounted.(l)
+    done
+  in
+  let _, failures, _ = run_campaign ~inspect ~repair:true ~seed:42 () in
+  Alcotest.(check bool) "inspect ran per processed event" true
+    (!audits >= Failure.n_events failures)
+
+let test_failure_exhaustive_matches_wcs_rack () =
+  (* The oracle must survive the schedule refactor at every level, not
+     just servers: rack-level exhaustive injection still reproduces the
+     Eq. 7 prediction exactly. *)
+  let tree, tenants = deploy_some () in
+  let r = Failure.exhaustive tree tenants ~laa_level:1 in
+  Alcotest.(check int) "all racks failed"
+    (Array.length (Tree.nodes_at_level tree 1))
+    r.domains_failed;
+  List.iter
+    (fun (o : Failure.tenant_outcome) ->
+      Array.iteri
+        (fun c predicted ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "%s comp %d" o.tenant_name c)
+            predicted o.worst_survival.(c))
+        o.predicted_wcs)
+    r.outcomes
+
+let test_failure_level_lifting_and_mismatch () =
+  let tree = Tree.create small_spec in
+  let tag = Tag.hose ~tier:"t" ~size:4 ~bw:1. () in
+  let rack = (Tree.nodes_at_level tree 1).(0) in
+  let rack_servers = Tree.subtree_servers tree rack in
+  Alcotest.(check int) "four servers per rack" 4 (Array.length rack_servers);
+  let locations =
+    [| Array.to_list (Array.map (fun s -> (s, 1)) rack_servers) |]
+  in
+  (* Lifting agreement: naming any server of the rack as the failed
+     domain at laa_level 1 is the same fault as naming the rack itself —
+     the event path and [survival] lift domains identically. *)
+  let via_server =
+    Failure.survival tree tag locations ~domain:rack_servers.(0) ~laa_level:1
+  in
+  let via_rack =
+    Failure.survival tree tag locations ~domain:rack ~laa_level:1
+  in
+  Alcotest.(check (float 0.)) "lifted = direct" via_rack.(0) via_server.(0);
+  Alcotest.(check (float 1e-9)) "whole rack dies" 0. via_rack.(0);
+  (* Level mismatch: the server-level Eq. 7 prediction (0.75 here) says
+     nothing about losing a whole rack — predictions only bound events
+     at their own level or below. *)
+  let predicted_server =
+    (Wcs.per_component tree tag locations ~laa_level:0).(0)
+  in
+  Alcotest.(check (float 1e-9)) "server-level prediction" 0.75
+    predicted_server;
+  Alcotest.(check bool) "rack event breaks server-level bound" true
+    (via_rack.(0) < predicted_server);
+  (* Scored at the matching level, the bound holds. *)
+  let predicted_rack =
+    (Wcs.per_component tree tag locations ~laa_level:1).(0)
+  in
+  Alcotest.(check bool) "matching-level bound holds" true
+    (via_rack.(0) +. 1e-9 >= predicted_rack)
+
+let prop_failure_runs_consistent =
+  QCheck.Test.make ~name:"failure runs leave a consistent allocator"
+    ~count:8
+    QCheck.(pair (int_range 1 1000) (int_range 1 1000))
+    (fun (seed, fseed) ->
+      let cfg = { (campaign_cfg seed) with n_arrivals = 120 } in
+      let tree = Tree.create small_spec in
+      let horizon = Runner.horizon tree scaled cfg in
+      let racks = Array.length (Tree.nodes_at_level tree 1) in
+      let failures =
+        Failure.schedule (Cm_util.Rng.create fseed) ~n_domains:racks ~level:1
+          ~horizon ~rate:(4. /. horizon)
+          ?mean_repair:
+            (if fseed mod 2 = 0 then Some (horizon /. 8.) else None)
+          ()
+      in
+      let r =
+        Runner.run_with_failures (Driver.cm tree) tree scaled cfg ~failures
+      in
+      let pristine =
+        Tree.free_slots_subtree tree (Tree.root tree) = Tree.total_slots tree
+        &&
+        let ok = ref true in
+        for node = 0 to Tree.n_nodes tree - 1 do
+          if
+            Float.abs (Tree.reserved_up tree node) > 1e-3
+            || Float.abs (Tree.reserved_down tree node) > 1e-3
+          then ok := false
+        done;
+        !ok
+      in
+      pristine
+      && r.events_injected = Failure.n_events failures
+      && r.recovered_full + r.recovered_partial + r.stranded
+         = r.tenants_affected
+      && r.wcs_slack_min >= -1e-9)
+
 let () =
   Alcotest.run "cm_sim"
     [
@@ -400,6 +707,32 @@ let () =
           Alcotest.test_case "n clamps" `Quick test_failure_random_clamps_n;
           Alcotest.test_case "rack level" `Quick test_failure_rack_level;
           Alcotest.test_case "direct survival" `Quick test_failure_survival_direct;
+        ] );
+      ( "failure-campaign",
+        [
+          Alcotest.test_case "schedule deterministic" `Quick
+            test_failure_schedule_deterministic;
+          Alcotest.test_case "schedule validates" `Quick
+            test_failure_schedule_validates;
+          Alcotest.test_case "empty schedule = run" `Quick
+            test_failures_empty_schedule_is_run;
+          Alcotest.test_case "campaign invariants" `Quick
+            test_failures_campaign_invariants;
+          Alcotest.test_case "campaign deterministic" `Quick
+            test_failures_deterministic;
+          Alcotest.test_case "permanent blockades released" `Quick
+            test_failures_permanent_blockades_released;
+          Alcotest.test_case "wcs slack non-negative" `Quick
+            test_failures_wcs_slack_nonneg;
+          Alcotest.test_case "max_attempts 0 strands" `Quick
+            test_failures_no_recovery_strands_all;
+          Alcotest.test_case "mid-run reservations consistent" `Quick
+            test_failures_inspect_reservations_consistent;
+          Alcotest.test_case "exhaustive oracle at rack level" `Quick
+            test_failure_exhaustive_matches_wcs_rack;
+          Alcotest.test_case "level lifting and mismatch" `Quick
+            test_failure_level_lifting_and_mismatch;
+          QCheck_alcotest.to_alcotest prop_failure_runs_consistent;
         ] );
       ( "table1",
         [
