@@ -28,6 +28,7 @@ end)
 let requested : string list ref = ref []
 let params = ref E.default_params
 let metrics_out : string option ref = ref None
+let trace_out : string option ref = ref None
 
 let known_sections =
   E.section_names @ [ "placement"; "enforce"; "inference"; "runtime" ]
@@ -44,9 +45,13 @@ let usage oc =
     \  --log-level LVL   debug|info|warn|error|off (default warn)\n\
     \  --log-json FILE   write log records as JSON lines to FILE\n\
     \  --metrics-out FILE\n\
-    \                    enable timed spans and write the metrics registry\n\
-    \                    (per-section durations, placement histograms,\n\
-    \                    counters) to FILE as JSON on exit\n\
+    \                    enable timed spans + per-epoch series and write the\n\
+    \                    metrics registry (cloudmirror.metrics/2: per-section\n\
+    \                    durations, GC deltas, counters, series) to FILE as\n\
+    \                    JSON on exit\n\
+    \  --trace-out FILE  enable causal tracing and write a Chrome trace-event\n\
+    \                    JSON file (load it in https://ui.perfetto.dev) on\n\
+    \                    exit\n\
     \  --help            print this message\n\n\
      Sections (default: all):\n\
     \  %s\n"
@@ -57,6 +62,23 @@ let usage_error msg =
   Printf.eprintf "main.exe: %s\n" msg;
   usage stderr;
   exit 2
+
+(* Fail at parse time, not after minutes of benchmarking: the output
+   path's directory must exist and be writable, and the path must not
+   name a directory. *)
+let check_writable flag path =
+  let dir = Filename.dirname path in
+  (match try Some (Sys.is_directory dir) with Sys_error _ -> None with
+  | Some true -> ()
+  | Some false ->
+      usage_error (Printf.sprintf "%s: %s is not a directory" flag dir)
+  | None ->
+      usage_error (Printf.sprintf "%s: directory %s does not exist" flag dir));
+  (try Unix.access dir [ Unix.W_OK ]
+   with Unix.Unix_error _ ->
+     usage_error (Printf.sprintf "%s: directory %s is not writable" flag dir));
+  if Sys.file_exists path && Sys.is_directory path then
+    usage_error (Printf.sprintf "%s: %s is a directory" flag path)
 
 let parse_args () =
   let int_value flag rest k =
@@ -105,8 +127,16 @@ let parse_args () =
             go rest)
     | "--metrics-out" :: rest ->
         string_value "--metrics-out" rest (fun path rest ->
+            check_writable "--metrics-out" path;
             metrics_out := Some path;
             Span.set_enabled true;
+            Cm_obs.Series.set_enabled true;
+            go rest)
+    | "--trace-out" :: rest ->
+        string_value "--trace-out" rest (fun path rest ->
+            check_writable "--trace-out" path;
+            trace_out := Some path;
+            Cm_obs.Trace.set_enabled true;
             go rest)
     | ("--help" | "-h") :: _ ->
         usage stdout;
@@ -586,4 +616,10 @@ let () =
       Span.with_ "section.inference" inference_bench);
   section "runtime" (fun () -> Span.with_ "section.runtime" runtime_bechamel);
   (match !metrics_out with Some path -> write_metrics path | None -> ());
+  (match !trace_out with
+  | Some path ->
+      Cm_obs.Trace.write_file path;
+      Printf.printf "wrote %d trace events (%d dropped) to %s\n%!"
+        (Cm_obs.Trace.recorded ()) (Cm_obs.Trace.dropped ()) path
+  | None -> ());
   print_newline ()

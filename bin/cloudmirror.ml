@@ -47,28 +47,74 @@ let obs_t =
   in
   let metrics_out_t =
     let doc =
-      "Enable timed spans and, on exit, write the metrics registry \
-       (counters, placement-latency histograms, per-section spans) to \
-       $(docv) as JSON."
+      "Enable timed spans and per-epoch series and, on exit, write the \
+       metrics registry (counters, placement-latency histograms, \
+       per-section spans with GC deltas, series) to $(docv) as \
+       cloudmirror.metrics/2 JSON."
     in
     Arg.(
       value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
   in
-  let setup level json_file metrics_out =
+  let trace_out_t =
+    let doc =
+      "Enable causal tracing and, on exit, write a Chrome trace-event JSON \
+       file to $(docv) (open it in https://ui.perfetto.dev)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  (* Output paths are validated up front so a bad directory fails before
+     any work runs, with the conventional usage exit code (2), instead
+     of a Sys_error after minutes of simulation. *)
+  let check_writable flag path =
+    let fail msg =
+      Printf.eprintf
+        "cloudmirror: %s: %s\nRun with --help for usage.\n" flag msg;
+      Stdlib.exit 2
+    in
+    let dir = Filename.dirname path in
+    (match try Some (Sys.is_directory dir) with Sys_error _ -> None with
+    | Some true -> ()
+    | Some false -> fail (Printf.sprintf "%s is not a directory" dir)
+    | None -> fail (Printf.sprintf "directory %s does not exist" dir));
+    (try Unix.access dir [ Unix.W_OK ]
+     with Unix.Unix_error _ ->
+       fail (Printf.sprintf "directory %s is not writable" dir));
+    if Sys.file_exists path && Sys.is_directory path then
+      fail (Printf.sprintf "%s is a directory" path)
+  in
+  let setup level json_file metrics_out trace_out =
     Cm_obs.Log.set_level level;
     (match json_file with
     | Some path -> Cm_obs.Log.open_json_file path
     | None -> ());
-    if metrics_out <> None then Cm_obs.Span.set_enabled true;
-    metrics_out
+    (match metrics_out with
+    | Some path ->
+        check_writable "--metrics-out" path;
+        Cm_obs.Span.set_enabled true;
+        Cm_obs.Series.set_enabled true
+    | None -> ());
+    (match trace_out with
+    | Some path ->
+        check_writable "--trace-out" path;
+        Cm_obs.Trace.set_enabled true
+    | None -> ());
+    (metrics_out, trace_out)
   in
-  Term.(const setup $ log_level_t $ log_json_t $ metrics_out_t)
+  Term.(const setup $ log_level_t $ log_json_t $ metrics_out_t $ trace_out_t)
 
-let finish_metrics = function
+let finish_metrics (metrics_out, trace_out) =
+  (match metrics_out with
   | None -> ()
   | Some path ->
       Cm_obs.Metrics.write_file path;
-      Printf.eprintf "wrote metrics document to %s\n%!" path
+      Printf.eprintf "wrote metrics document to %s\n%!" path);
+  match trace_out with
+  | None -> ()
+  | Some path ->
+      Cm_obs.Trace.write_file path;
+      Printf.eprintf "wrote %d trace events (%d dropped) to %s\n%!"
+        (Cm_obs.Trace.recorded ()) (Cm_obs.Trace.dropped ()) path
 
 let jobs_t =
   let doc =

@@ -20,6 +20,8 @@ let h_rate_delta =
     ~buckets:[| 1e-3; 1e-2; 1e-1; 1.; 10.; 100.; 1000. |]
     "enforce.rate_delta"
 
+let s_epoch = Cm_obs.Span.v "enforce.epoch"
+
 type flow_spec = {
   pair : Elastic.active_pair;
   path : int list;
@@ -288,6 +290,7 @@ let run_dynamic ?(eps = 0.02) ?(max_periods = 512) t ~epochs =
   let reports =
     List.mapi
       (fun e flows ->
+        Cm_obs.Span.with_span s_epoch @@ fun () ->
         Cm_obs.Metrics.incr m_epochs;
         let es = compile t ~flows in
         let periods = ref 0 in

@@ -91,16 +91,28 @@ let churn ?eps ?max_periods ?(n_senders = 5) ?(p_active = 0.5) ~seed ~epochs
       ()
   in
   let r = Runtime.run_dynamic ?eps ?max_periods rt ~epochs:schedule in
+  (* Per-epoch series, one family per enforcement mode so the Tag/Hose
+     rows running in parallel under Par never share a ring. *)
+  let sp = "enforce.churn." ^ Elastic.enforcement_to_string enforcement in
   let points =
     List.map
       (fun (e : Runtime.epoch_report) ->
-        {
-          epoch = e.epoch;
-          active_senders = e.n_flows - 1;
-          steady_x = Runtime.throughput_of e.steady x_pair;
-          periods = e.periods;
-          converged = e.converged;
-        })
+        let p =
+          {
+            epoch = e.epoch;
+            active_senders = e.n_flows - 1;
+            steady_x = Runtime.throughput_of e.steady x_pair;
+            periods = e.periods;
+            converged = e.converged;
+          }
+        in
+        let x = float_of_int p.epoch in
+        Cm_obs.Series.sample_named (sp ^ ".steady_x") ~x p.steady_x;
+        Cm_obs.Series.sample_named (sp ^ ".active_senders") ~x
+          (float_of_int p.active_senders);
+        Cm_obs.Series.sample_named (sp ^ ".periods") ~x
+          (float_of_int p.periods);
+        p)
       r.epochs
   in
   let k = float_of_int (List.length points) in
@@ -244,6 +256,71 @@ let failures ?eps ?max_periods ?(n_racks = 4) ?(vms_per_rack = 4)
   let rt = Runtime.create ~tag ~enforcement ~links () in
   let r = Runtime.run_dynamic ?eps ?max_periods rt ~epochs:(Array.to_list epoch_flows) in
   let violations = ref 0 in
+  (* Series family: one per (enforcement, recovery) row, matching how
+     the experiment section fans rows out over Par. *)
+  let sp =
+    Printf.sprintf "enforce.failures.%s.%s"
+      (Elastic.enforcement_to_string enforcement)
+      (match recovery with `None -> "none" | `Lag k -> Printf.sprintf "lag%d" k)
+  in
+  let capacities = Array.make (n_racks + 1) 0. in
+  List.iter
+    (fun (l : Maxmin.link) -> capacities.(l.Maxmin.link_id) <- l.Maxmin.capacity)
+    links;
+  (* Violation attribution (ISSUE 7): when an epoch violates guarantees,
+     name the bottleneck — the link with the highest utilization under
+     the steady rates — and the set of flows it limits.  Computed only
+     when telemetry wants it; results never feed back. *)
+  let attribute (er : Runtime.epoch_report) violated =
+    if
+      violated > 0
+      && (Cm_obs.Trace.enabled () || Cm_obs.Series.enabled ())
+    then begin
+      let loads = Array.make (n_racks + 1) 0. in
+      List.iter
+        (fun (f : Runtime.flow_spec) ->
+          let rate = Runtime.throughput_of er.steady f.Runtime.pair in
+          List.iter
+            (fun l -> loads.(l) <- loads.(l) +. rate)
+            f.Runtime.path)
+        epoch_flows.(er.epoch);
+      let bott = ref 0 and bott_util = ref neg_infinity in
+      Array.iteri
+        (fun l cap ->
+          if cap > 0. then begin
+            let u = loads.(l) /. cap in
+            if u > !bott_util then begin
+              bott_util := u;
+              bott := l
+            end
+          end)
+        capacities;
+      let limited =
+        List.filter
+          (fun (f : Runtime.flow_spec) -> List.mem !bott f.Runtime.path)
+          epoch_flows.(er.epoch)
+      in
+      Cm_obs.Series.sample_named (sp ^ ".bottleneck_util")
+        ~x:(float_of_int er.epoch) !bott_util;
+      if Cm_obs.Trace.enabled () then
+        Cm_obs.Trace.instant "enforce.violation"
+          ~args:
+            [
+              ("epoch", Cm_obs.Json.Number (float_of_int er.epoch));
+              ( "enforcement",
+                Cm_obs.Json.String (Elastic.enforcement_to_string enforcement)
+              );
+              ("violated_vms", Cm_obs.Json.Number (float_of_int violated));
+              ("bottleneck_link", Cm_obs.Json.Number (float_of_int !bott));
+              ("utilization", Cm_obs.Json.Number !bott_util);
+              ( "capacity",
+                Cm_obs.Json.Number capacities.(!bott) );
+              ("load", Cm_obs.Json.Number loads.(!bott));
+              ( "limiting_flows",
+                Cm_obs.Json.Number (float_of_int (List.length limited)) );
+            ]
+    end
+  in
   let points =
     List.map
       (fun (er : Runtime.epoch_report) ->
@@ -260,14 +337,25 @@ let failures ?eps ?max_periods ?(n_racks = 4) ?(vms_per_rack = 4)
                  0
         in
         violations := !violations + violated;
-        {
-          f_epoch = er.epoch;
-          live_vms = er.n_flows;
-          down_vms = n - er.n_flows;
-          violated_vms = violated;
-          f_periods = er.periods;
-          f_converged = er.converged;
-        })
+        attribute er violated;
+        let p =
+          {
+            f_epoch = er.epoch;
+            live_vms = er.n_flows;
+            down_vms = n - er.n_flows;
+            violated_vms = violated;
+            f_periods = er.periods;
+            f_converged = er.converged;
+          }
+        in
+        let x = float_of_int p.f_epoch in
+        Cm_obs.Series.sample_named (sp ^ ".live_vms")
+          ~x (float_of_int p.live_vms);
+        Cm_obs.Series.sample_named (sp ^ ".violated_vms")
+          ~x (float_of_int p.violated_vms);
+        Cm_obs.Series.sample_named (sp ^ ".periods")
+          ~x (float_of_int p.f_periods);
+        p)
       r.epochs
   in
   let vm_epochs_down =

@@ -264,7 +264,7 @@ let table1_all_workloads ~seed ~bmax =
       (fun () -> Pool.synthetic ~seed ());
     ]
 
-let run_sim ?(spec = Tree.default_spec) ?ha ~make p =
+let run_sim ?(spec = Tree.default_spec) ?ha ?series_prefix ~make p =
   let pool = bing_pool ~seed:p.seed ~bmax:p.bmax in
   let tree = Tree.create spec in
   let cfg =
@@ -277,7 +277,7 @@ let run_sim ?(spec = Tree.default_spec) ?ha ~make p =
       wcs_level = 0;
     }
   in
-  Runner.run (make tree) tree pool cfg
+  Runner.run ?series_prefix (make tree) tree pool cfg
 
 let fig7 p ~loads ~bmaxes =
   let t =
@@ -334,11 +334,15 @@ let fig8 p ~loads =
         ("(VM,OVOC)", Table.Right);
       ]
   in
+  (* Each (load, scheduler) pair samples its own series, so the
+     parallel rows never share a ring and the document is identical at
+     any --jobs. *)
   Par.map
     (fun load ->
       let p = { p with load } in
-      let cm = run_sim ~make:Driver.cm p in
-      let ovoc = run_sim ~make:Driver.oktopus p in
+      let sp sched = Printf.sprintf "sim.fig8.load%02.0f.%s" (100. *. load) sched in
+      let cm = run_sim ~series_prefix:(sp "CM") ~make:Driver.cm p in
+      let ovoc = run_sim ~series_prefix:(sp "OVOC") ~make:Driver.oktopus p in
       [
         Printf.sprintf "%.0f%%" (100. *. load);
         pct (Runner.bw_rejection_rate cm);
@@ -722,29 +726,37 @@ let sim_failures p =
       ~mean_repair:(horizon /. 8.) ()
   in
   let ha = Some { Types.rwcs = 0.25; laa_level = failure_level } in
+  (* The slug names each row's per-epoch series family
+     (sim.failures.<slug>.utilization/acceptance_rate/stranded/
+     ladder_depth); rows run in parallel, so each needs its own. *)
   let rows =
     [
-      ("CM anti-affine + recovery", `Cm, ha, Runner.default_recovery);
-      ("CM no-HA + recovery", `Cm, None, Runner.default_recovery);
-      ( "CM anti-affine, no recovery",
+      ( "CM anti-affine + recovery", "ha_recovery", `Cm, ha,
+        Runner.default_recovery );
+      ("CM no-HA + recovery", "noha_recovery", `Cm, None,
+        Runner.default_recovery );
+      ( "CM anti-affine, no recovery", "ha_norecovery",
         `Cm,
         ha,
         { Runner.default_recovery with max_attempts = 0 } );
-      ("CM+backup 30% (Yu-style)", `Backup, None, Runner.default_recovery);
+      ( "CM+backup 30% (Yu-style)", "backup", `Backup, None,
+        Runner.default_recovery );
     ]
   in
   let results =
     (* Each row rebuilds its own tree and scheduler; only the immutable
        schedule and pool are shared, so the fan-out is jobs-invariant. *)
     Par.map
-      (fun (name, maker, ha, recovery) ->
+      (fun (name, slug, maker, ha, recovery) ->
         let tree = Tree.create spec in
         let sched =
           match maker with `Cm -> Driver.cm tree | `Backup -> Driver.backup tree
         in
         let cfg = { base_cfg with ha } in
-        (name, Runner.run_with_failures ~recovery sched tree pool cfg
-                 ~failures:schedule))
+        ( name,
+          Runner.run_with_failures
+            ~series_prefix:("sim.failures." ^ slug)
+            ~recovery sched tree pool cfg ~failures:schedule ))
       rows
   in
   let t =

@@ -180,13 +180,24 @@ let snapshot (h : histogram) =
       mx := Float.max !mx (Atomic.get shard.h_max))
     h.shards;
   let count = Array.fold_left ( + ) 0 counts in
+  (* Untouched shards keep their (+inf, -inf) initial extrema, and nan
+     observations never replace them either ([x < v] and [x > v] are
+     both false for nan).  The pair (min = +inf, max = -inf) can
+     therefore only mean "no finite-or-infinite value was ever merged"
+     — empty histogram, or nan-only observations — and maps to
+     (nan, nan).  Testing the pair, not [count = 0], keeps the two
+     legitimate one-sided cases exact: only [+inf] observed yields
+     (+inf, +inf), only [-inf] observed yields (-inf, -inf).  The merge
+     itself folds shards in fixed index order, so the result is
+     deterministic for a given multiset of recorded values. *)
+  let empty_extrema = !mn = Float.infinity && !mx = Float.neg_infinity in
   {
     upper_bounds = Array.copy h.upper_bounds;
     counts;
     count;
     sum = !sum;
-    min_v = (if count = 0 then Float.nan else !mn);
-    max_v = (if count = 0 then Float.nan else !mx);
+    min_v = (if empty_extrema then Float.nan else !mn);
+    max_v = (if empty_extrema then Float.nan else !mx);
   }
 
 let reset () =
@@ -216,6 +227,32 @@ let sorted_entries () =
 let names () = List.map fst (sorted_entries ())
 
 let span_prefix = "span."
+let gc_prefix = "spangc."
+
+(* "spangc.<label>.<field>" -> Some (label, field), for the three fields
+   Span maintains.  Labels may themselves contain dots, so match on the
+   known suffixes. *)
+let gc_counter_parts name =
+  if not (String.starts_with ~prefix:gc_prefix name) then None
+  else
+    let rest =
+      String.sub name (String.length gc_prefix)
+        (String.length name - String.length gc_prefix)
+    in
+    let split field =
+      let suffix = "." ^ field in
+      if
+        String.ends_with ~suffix rest
+        && String.length rest > String.length suffix
+      then Some (String.sub rest 0 (String.length rest - String.length suffix), field)
+      else None
+    in
+    match split "minor_words" with
+    | Some _ as r -> r
+    | None -> (
+        match split "promoted_words" with
+        | Some _ as r -> r
+        | None -> split "major_collections")
 
 let histogram_json h =
   let s = snapshot h in
@@ -242,12 +279,21 @@ let histogram_json h =
 let document ?(extra = []) () =
   let counters = ref [] and gauges = ref [] in
   let histograms = ref [] and spans = ref [] in
+  (* label -> (field, value) list, insertion order = sorted name order. *)
+  let gc : (string, (string * int) list) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun (name, metric) ->
       match metric with
-      | Counter c ->
-          counters :=
-            (name, Json.Number (float_of_int (counter_value c))) :: !counters
+      | Counter c -> begin
+          match gc_counter_parts name with
+          | Some (label, field) ->
+              let prev = Option.value ~default:[] (Hashtbl.find_opt gc label) in
+              Hashtbl.replace gc label (prev @ [ (field, counter_value c) ])
+          | None ->
+              counters :=
+                (name, Json.Number (float_of_int (counter_value c)))
+                :: !counters
+        end
       | Gauge g -> gauges := (name, Json.Number (gauge_value g)) :: !gauges
       | Histogram h ->
           let target, key =
@@ -259,14 +305,35 @@ let document ?(extra = []) () =
           in
           target := (key, histogram_json h) :: !target)
     (List.rev (sorted_entries ()));
+  (* Fold each span's GC counters into its histogram object, in the
+     fixed field order Span maintains. *)
+  let gc_fields = [ "minor_words"; "promoted_words"; "major_collections" ] in
+  let spans =
+    List.map
+      (fun (label, hist_obj) ->
+        match (Hashtbl.find_opt gc label, hist_obj) with
+        | Some fields, Json.Object hist_fields ->
+            let gc_obj =
+              List.filter_map
+                (fun f ->
+                  Option.map
+                    (fun v -> (f, Json.Number (float_of_int v)))
+                    (List.assoc_opt f fields))
+                gc_fields
+            in
+            (label, Json.Object (hist_fields @ [ ("gc", Json.Object gc_obj) ]))
+        | _ -> (label, hist_obj))
+      !spans
+  in
   Json.Object
-    (("schema", Json.String "cloudmirror.metrics/1")
+    (("schema", Json.String "cloudmirror.metrics/2")
     :: extra
     @ [
         ("counters", Json.Object !counters);
         ("gauges", Json.Object !gauges);
         ("histograms", Json.Object !histograms);
-        ("spans", Json.Object !spans);
+        ("spans", Json.Object spans);
+        ("series", Json.Object (Series.document_json ()));
       ])
 
 let write_file ?extra path =

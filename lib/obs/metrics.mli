@@ -48,8 +48,11 @@ type histogram_snapshot = {
   counts : int array;  (** [length upper_bounds + 1]; last = overflow. *)
   count : int;
   sum : float;
-  min_v : float;  (** [nan] when empty. *)
-  max_v : float;  (** [nan] when empty. *)
+  min_v : float;
+      (** Minimum over the (deterministic, fixed-order) shard merge.
+          [nan] observations are ignored; [nan] when no non-nan value
+          was ever observed (empty, or nan-only). *)
+  max_v : float;  (** Same semantics as [min_v]. *)
 }
 
 val snapshot : histogram -> histogram_snapshot
@@ -61,22 +64,35 @@ val reset : unit -> unit
 val names : unit -> string list
 (** Sorted names of all registered metrics. *)
 
+val gc_prefix : string
+(** ["spangc."] — counters named [spangc.<label>.<field>] (with
+    [field] one of [minor_words]/[promoted_words]/[major_collections];
+    maintained by {!Span}) are not listed under ["counters"] but folded
+    into the matching span's ["gc"] object. *)
+
 val document : ?extra:(string * Json.t) list -> unit -> Json.t
 (** Stable-schema JSON snapshot of the whole registry:
 
     {v
-    { "schema": "cloudmirror.metrics/1",
+    { "schema": "cloudmirror.metrics/2",
       ...extra fields...,
       "counters":   { name: int, ... },
       "gauges":     { name: float, ... },
       "histograms": { name: {"count","sum","mean","min","max",
                              "le": [bounds...], "counts": [...]}, ... },
-      "spans":      { label: same-shape histogram object, ... } }
+      "spans":      { label: histogram object
+                             + "gc": {"minor_words","promoted_words",
+                                      "major_collections"}, ... },
+      "series":     { name: {"capacity","n","dropped",
+                             "x": [...], "y": [...]}, ... } }
     v}
 
-    Histograms registered under a ["span."] prefix (see {!Span}) are
-    reported in ["spans"] with the prefix stripped.  All maps are sorted
-    by name. *)
+    Schema [/2] is a strict superset of the [/1] documents written up
+    to PR 6: every [/1] field is still present with the same meaning,
+    [/2] adds the per-span ["gc"] objects and the top-level ["series"]
+    map ({!Series}).  Histograms registered under a ["span."] prefix
+    (see {!Span}) are reported in ["spans"] with the prefix stripped.
+    All maps are sorted by name. *)
 
 val write_file : ?extra:(string * Json.t) list -> string -> unit
 (** {!document} serialized to [path], with a trailing newline. *)

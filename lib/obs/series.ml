@@ -1,0 +1,130 @@
+(* Bounded per-run time series: named ring buffers of (x, y) samples.
+
+   Like the rest of Cm_obs, series observe and never perturb: sampling
+   is gated on a global flag (one branch when disabled) and nothing ever
+   reads a series back into the instrumented computation, so experiment
+   outputs are bit-identical with series enabled or disabled at any
+   [--jobs N].
+
+   State is bounded by construction (the AHAB register discipline): each
+   series holds at most [capacity] samples; older samples are overwritten
+   and counted in [dropped], never accumulated in an unbounded log. *)
+
+let on = Atomic.make false
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
+
+type t = {
+  name : string;
+  capacity : int;
+  lock : Mutex.t;
+  xs : float array;
+  ys : float array;
+  mutable len : int;  (* samples currently held, <= capacity *)
+  mutable head : int; (* next write position *)
+  mutable dropped : int;  (* samples overwritten after wrap *)
+}
+
+let default_capacity = 1024
+
+(* Registration is rare; the registry lock only guards the table.  Each
+   series has its own lock for sampling, so two concurrently-sampled
+   series never contend.  A single series is normally fed by one logical
+   row of work, but the per-series lock keeps even shared feeds safe. *)
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+let registry_lock = Mutex.create ()
+
+let create ?(capacity = default_capacity) name =
+  if capacity <= 0 then
+    invalid_arg "Cm_obs.Series.create: capacity must be positive";
+  Mutex.lock registry_lock;
+  let s =
+    match Hashtbl.find_opt registry name with
+    | Some s -> s
+    | None ->
+        let s =
+          {
+            name;
+            capacity;
+            lock = Mutex.create ();
+            xs = Array.make capacity 0.;
+            ys = Array.make capacity 0.;
+            len = 0;
+            head = 0;
+            dropped = 0;
+          }
+        in
+        Hashtbl.replace registry name s;
+        s
+  in
+  Mutex.unlock registry_lock;
+  s
+
+let sample s ~x y =
+  if enabled () then begin
+    Mutex.lock s.lock;
+    if s.len = s.capacity then s.dropped <- s.dropped + 1
+    else s.len <- s.len + 1;
+    s.xs.(s.head) <- x;
+    s.ys.(s.head) <- y;
+    s.head <- (s.head + 1) mod s.capacity;
+    Mutex.unlock s.lock
+  end
+
+let sample_named ?capacity name ~x y =
+  if enabled () then sample (create ?capacity name) ~x y
+
+(* Oldest-first copy of the ring's contents. *)
+let contents s =
+  Mutex.lock s.lock;
+  let n = s.len in
+  let start = (s.head - n + s.capacity) mod s.capacity in
+  let xs = Array.init n (fun i -> s.xs.((start + i) mod s.capacity)) in
+  let ys = Array.init n (fun i -> s.ys.((start + i) mod s.capacity)) in
+  let dropped = s.dropped in
+  Mutex.unlock s.lock;
+  (xs, ys, dropped)
+
+let length s =
+  Mutex.lock s.lock;
+  let n = s.len in
+  Mutex.unlock s.lock;
+  n
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter
+    (fun _ s ->
+      Mutex.lock s.lock;
+      s.len <- 0;
+      s.head <- 0;
+      s.dropped <- 0;
+      Mutex.unlock s.lock)
+    registry;
+  Mutex.unlock registry_lock
+
+let names () =
+  Mutex.lock registry_lock;
+  let ns = Hashtbl.fold (fun k _ acc -> k :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.sort compare ns
+
+let series_json s =
+  let xs, ys, dropped = contents s in
+  let arr a = Json.Array (Array.to_list (Array.map (fun v -> Json.Number v) a)) in
+  Json.Object
+    [
+      ("capacity", Json.Number (float_of_int s.capacity));
+      ("n", Json.Number (float_of_int (Array.length xs)));
+      ("dropped", Json.Number (float_of_int dropped));
+      ("x", arr xs);
+      ("y", arr ys);
+    ]
+
+let document_json () =
+  Mutex.lock registry_lock;
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  entries
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (name, s) -> (name, series_json s))

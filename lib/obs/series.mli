@@ -1,0 +1,57 @@
+(** Bounded per-run time series: named ring buffers of [(x, y)] samples,
+    meant for per-epoch / per-control-period signals (utilization,
+    acceptance rate, guarantee violations, recovery-ladder depth).
+
+    Series observe — they never perturb.  Sampling is one branch when
+    disabled, and nothing reads a series back into the instrumented
+    computation, so experiment outputs are bit-identical with series
+    enabled or disabled, at any [--jobs N].
+
+    Memory is bounded by construction: each series holds at most its
+    fixed [capacity] samples; once full, the oldest sample is
+    overwritten and the [dropped] count incremented.  Series are
+    emitted under the ["series"] key of {!Metrics.document} (schema
+    [cloudmirror.metrics/2]).
+
+    Determinism: each logical row of work (an experiment variant, an
+    enforcement mode) samples its own distinctly-named series, so
+    parallel rows never interleave within one ring and documents are
+    identical at any jobs count. *)
+
+type t
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val default_capacity : int
+(** 1024 samples. *)
+
+val create : ?capacity:int -> string -> t
+(** Registers (or retrieves) the series called [name].  Capacity is
+    fixed at first registration; later [capacity] arguments are ignored.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val sample : t -> x:float -> float -> unit
+(** Append a sample; overwrites the oldest when full.  No-op when
+    disabled. *)
+
+val sample_named : ?capacity:int -> string -> x:float -> float -> unit
+(** [sample_named name ~x y] = [sample (create name) ~x y], but skips
+    even the registry lookup when disabled — convenient for call sites
+    without a handle. *)
+
+val contents : t -> float array * float array * int
+(** [(xs, ys, dropped)], oldest first. *)
+
+val length : t -> int
+
+val reset : unit -> unit
+(** Clear every registered series (registrations survive).  Test
+    helper; not safe concurrently with writers. *)
+
+val names : unit -> string list
+(** Sorted names of all registered series. *)
+
+val document_json : unit -> (string * Json.t) list
+(** Sorted [(name, {"capacity","n","dropped","x","y"})] pairs — the
+    value of the document's ["series"] field. *)

@@ -2,7 +2,18 @@ let on = Atomic.make false
 let set_enabled b = Atomic.set on b
 let enabled () = Atomic.get on
 
-type t = Metrics.histogram
+(* The GC counters live under a dedicated prefix so Metrics.document can
+   fold them into the matching span's "gc" object instead of listing
+   them as plain counters. *)
+let gc_prefix = Metrics.gc_prefix
+
+type t = {
+  label : string;
+  hist : Metrics.histogram;
+  gc_minor : Metrics.counter;
+  gc_promoted : Metrics.counter;
+  gc_major : Metrics.counter;
+}
 
 (* Interning table: an immutable association list swapped by CAS, so
    lookups are lock-free from any domain.  Span label sets are small
@@ -14,25 +25,61 @@ let rec v label =
   match List.assoc_opt label (Atomic.get interned) with
   | Some h -> h
   | None ->
-      let h = Metrics.histogram ("span." ^ label) in
+      let h =
+        {
+          label;
+          hist = Metrics.histogram ("span." ^ label);
+          gc_minor = Metrics.counter (gc_prefix ^ label ^ ".minor_words");
+          gc_promoted = Metrics.counter (gc_prefix ^ label ^ ".promoted_words");
+          gc_major = Metrics.counter (gc_prefix ^ label ^ ".major_collections");
+        }
+      in
       let seen = Atomic.get interned in
-      if List.mem_assoc label seen then h
+      if List.mem_assoc label seen then List.assoc label (Atomic.get interned)
       else if Atomic.compare_and_set interned seen ((label, h) :: seen) then h
       else v label
 
-let record h dt = if enabled () then Metrics.observe h dt
+let record h dt = if enabled () then Metrics.observe h.hist dt
+
+(* One branch when both spans and tracing are off.  On the slow path we
+   take a (Gc.minor_words, Gc.quick_stat) pair: the deltas feed the
+   "spangc." counters (metrics document) when spans are enabled, and
+   ride along in the trace event (Trace takes its own pair) when
+   tracing is enabled.  Minor words come from [Gc.minor_words], which
+   reads the allocation pointer and is exact; [quick_stat]'s
+   [minor_words] only refreshes at minor collections, so a span that
+   allocates less than a minor-heap arena would report 0.  The
+   promoted/major fields of [quick_stat] are exact by nature — they
+   only change at collections. *)
+let finish h traced metered t0 w0 g0 =
+  if traced then Trace.exit ();
+  if metered then begin
+    let t1 = Unix.gettimeofday () in
+    let g1 : Gc.stat = Gc.quick_stat () in
+    Metrics.observe h.hist (t1 -. t0);
+    Metrics.incr ~by:(int_of_float (Gc.minor_words () -. w0)) h.gc_minor;
+    Metrics.incr ~by:(int_of_float (g1.promoted_words -. g0.Gc.promoted_words))
+      h.gc_promoted;
+    Metrics.incr ~by:(g1.major_collections - g0.Gc.major_collections)
+      h.gc_major
+  end
 
 let with_span h f =
-  if not (enabled ()) then f ()
+  let metered = enabled () in
+  let traced = Trace.enabled () in
+  if not (metered || traced) then f ()
   else begin
     let t0 = Unix.gettimeofday () in
+    let w0 = Gc.minor_words () in
+    let g0 = Gc.quick_stat () in
+    if traced then Trace.enter h.label;
     match f () with
     | y ->
-        Metrics.observe h (Unix.gettimeofday () -. t0);
+        finish h traced metered t0 w0 g0;
         y
     | exception e ->
         let bt = Printexc.get_raw_backtrace () in
-        Metrics.observe h (Unix.gettimeofday () -. t0);
+        finish h traced metered t0 w0 g0;
         Printexc.raise_with_backtrace e bt
   end
 

@@ -1,11 +1,15 @@
-(** Timed spans: wall-clock histograms per label.
+(** Timed spans: wall-clock histograms plus GC-profile counters per
+    label, and the bridge into {!Trace}.
 
     [Span.with_ "cm.place" f] runs [f] and, when spans are enabled,
     records its wall time into the histogram ["span.cm.place"] in the
     {!Metrics} registry (reported under ["spans"] in the metrics
-    document).  When disabled — the default — the cost is one branch:
-    no clock is read and nothing is allocated, so instrumented hot paths
-    are unperturbed.
+    document) together with the span's [Gc.quick_stat] deltas (minor
+    words, promoted words, major collections — reported as the span's
+    ["gc"] object).  When {!Trace.enabled}, the same call also records
+    a hierarchical trace span named [cm.place].  When both are disabled
+    — the default — the cost is two branches: no clock is read and
+    nothing is allocated, so instrumented hot paths are unperturbed.
 
     The duration is recorded even when [f] raises; the exception is
     re-raised with its backtrace. *)
@@ -13,9 +17,15 @@
 val set_enabled : bool -> unit
 val enabled : unit -> bool
 
+val gc_prefix : string
+(** ["spangc."] — the counter-name prefix under which a span's GC
+    deltas live in the registry ([spangc.<label>.minor_words] etc.);
+    {!Metrics.document} folds them into ["spans"]. *)
+
 type t
-(** An interned span label: the histogram handle is resolved once, so
-    per-call overhead on hot paths is just the clock reads. *)
+(** An interned span label: the histogram and counter handles are
+    resolved once, so per-call overhead on hot paths is just the clock
+    and [Gc.quick_stat] reads. *)
 
 val v : string -> t
 (** Intern [label].  Idempotent; safe from any domain. *)
@@ -27,4 +37,5 @@ val with_ : string -> (unit -> 'a) -> 'a
 
 val record : t -> float -> unit
 (** Record an externally-measured duration (seconds); respects
-    {!enabled}. *)
+    {!enabled}.  No GC deltas or trace event — use {!with_span} for
+    those. *)

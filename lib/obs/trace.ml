@@ -1,0 +1,338 @@
+(* Hierarchical causal tracing into fixed-capacity per-domain rings.
+
+   Each domain that records events owns a private context (via
+   Domain.DLS): an event ring, a monotonically increasing sequence
+   counter, and a stack of open frames that supplies the ambient
+   parent/depth for nested spans.  Contexts are registered in a global
+   list under a mutex at creation, so rings survive domain join (the
+   Par pool spawns short-lived domains) and can be exported at process
+   end without any hot-path synchronisation: every ring has exactly one
+   writer, its domain.
+
+   Determinism: event ids are (track, seq) where seq is the domain-local
+   counter — deterministic for a given domain's work.  Track numbering
+   for pool domains depends on spawn order; at [--jobs 1] the whole
+   trace is deterministic.  Like the rest of Cm_obs, tracing observes
+   and never perturbs: recording is one branch when disabled, and no
+   timestamp or id ever feeds back into the instrumented computation,
+   so experiment outputs are bit-identical with tracing on or off at
+   any [--jobs N].
+
+   Memory is bounded by construction: each ring holds at most
+   [capacity] events; once full the oldest event is overwritten and
+   counted in [dropped].  (An overwritten parent may leave its children
+   orphaned in the export — the tail of a long run always survives.) *)
+
+type phase = Complete | Instant
+
+type event = {
+  ev_name : string;
+  ev_phase : phase;
+  ev_track : int;
+  ev_seq : int;
+  ev_parent : int; (* seq of enclosing span on the same track; -1 = root *)
+  ev_depth : int;
+  ev_ts : float; (* absolute seconds (Unix.gettimeofday) *)
+  ev_dur : float; (* seconds; 0 for instants *)
+  ev_gc_minor : float; (* Gc.quick_stat deltas over the span *)
+  ev_gc_promoted : float;
+  ev_gc_major : int;
+  ev_args : (string * Json.t) list; (* extra args (instants) *)
+}
+
+type frame = {
+  f_name : string;
+  f_seq : int;
+  f_parent : int;
+  f_depth : int;
+  f_t0 : float;
+  f_mw0 : float; (* Gc.minor_words at entry -- exact, unlike quick_stat *)
+  f_gc0 : Gc.stat;
+}
+
+type ctx = {
+  track : int;
+  ring : event array; (* dummy-filled; [len] entries are live *)
+  mutable len : int;
+  mutable head : int; (* next write position *)
+  mutable dropped : int;
+  mutable next_seq : int;
+  mutable stack : frame list;
+}
+
+let dummy_event =
+  {
+    ev_name = "";
+    ev_phase = Instant;
+    ev_track = -1;
+    ev_seq = -1;
+    ev_parent = -1;
+    ev_depth = 0;
+    ev_ts = 0.;
+    ev_dur = 0.;
+    ev_gc_minor = 0.;
+    ev_gc_promoted = 0.;
+    ev_gc_major = 0;
+    ev_args = [];
+  }
+
+let on = Atomic.make false
+let default_capacity = 8192
+let capacity = Atomic.make default_capacity
+let next_track = Atomic.make 0
+
+(* First-event timestamp; exported ts values are relative to it. *)
+let t0 = Atomic.make Float.nan
+
+let rec note_t0 t =
+  let v = Atomic.get t0 in
+  if Float.is_nan v && not (Atomic.compare_and_set t0 v t) then note_t0 t
+
+let contexts : ctx list ref = ref []
+let contexts_lock = Mutex.create ()
+
+(* Bumped by [clear]: domains lazily replace their cached context when
+   the generation moves, so cleared contexts are never written again. *)
+let generation = Atomic.make 0
+
+type slot = { mutable s_ctx : ctx option; mutable s_gen : int }
+
+let key : slot Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { s_ctx = None; s_gen = -1 })
+
+let make_ctx () =
+  {
+    track = Atomic.fetch_and_add next_track 1;
+    ring = Array.make (Atomic.get capacity) dummy_event;
+    len = 0;
+    head = 0;
+    dropped = 0;
+    next_seq = 0;
+    stack = [];
+  }
+
+let current_ctx () =
+  let s = Domain.DLS.get key in
+  let g = Atomic.get generation in
+  match s.s_ctx with
+  | Some c when s.s_gen = g -> c
+  | _ ->
+      let c = make_ctx () in
+      Mutex.lock contexts_lock;
+      contexts := c :: !contexts;
+      Mutex.unlock contexts_lock;
+      s.s_ctx <- Some c;
+      s.s_gen <- g;
+      c
+
+let clear () =
+  Mutex.lock contexts_lock;
+  contexts := [];
+  Mutex.unlock contexts_lock;
+  Atomic.incr generation;
+  Atomic.set next_track 0;
+  Atomic.set t0 Float.nan
+
+let set_enabled ?capacity:cap b =
+  (match cap with
+  | Some c ->
+      if c <= 0 then
+        invalid_arg "Cm_obs.Trace.set_enabled: capacity must be positive";
+      Atomic.set capacity c;
+      (* A new ring size only applies to fresh contexts: discard the
+         current ones so every domain re-creates its context. *)
+      clear ()
+  | None -> ());
+  Atomic.set on b
+
+let enabled () = Atomic.get on
+
+let push c ev =
+  if c.len = Array.length c.ring then c.dropped <- c.dropped + 1
+  else c.len <- c.len + 1;
+  c.ring.(c.head) <- ev;
+  c.head <- (c.head + 1) mod Array.length c.ring
+
+let enter name =
+  if enabled () then begin
+    let c = current_ctx () in
+    let t = Unix.gettimeofday () in
+    note_t0 t;
+    let seq = c.next_seq in
+    c.next_seq <- seq + 1;
+    let parent, depth =
+      match c.stack with
+      | [] -> (-1, 0)
+      | f :: _ -> (f.f_seq, f.f_depth + 1)
+    in
+    c.stack <-
+      {
+        f_name = name;
+        f_seq = seq;
+        f_parent = parent;
+        f_depth = depth;
+        f_t0 = t;
+        f_mw0 = Gc.minor_words ();
+        f_gc0 = Gc.quick_stat ();
+      }
+      :: c.stack
+  end
+
+let exit () =
+  if enabled () then begin
+    let c = current_ctx () in
+    match c.stack with
+    | [] -> () (* tracing was enabled mid-span; nothing to close *)
+    | f :: rest ->
+        c.stack <- rest;
+        let t1 = Unix.gettimeofday () in
+        let g1 = Gc.quick_stat () in
+        push c
+          {
+            ev_name = f.f_name;
+            ev_phase = Complete;
+            ev_track = c.track;
+            ev_seq = f.f_seq;
+            ev_parent = f.f_parent;
+            ev_depth = f.f_depth;
+            ev_ts = f.f_t0;
+            ev_dur = t1 -. f.f_t0;
+            ev_gc_minor = Gc.minor_words () -. f.f_mw0;
+            ev_gc_promoted = g1.promoted_words -. f.f_gc0.promoted_words;
+            ev_gc_major = g1.major_collections - f.f_gc0.major_collections;
+            ev_args = [];
+          }
+  end
+
+let with_span name f =
+  if not (enabled ()) then f ()
+  else begin
+    enter name;
+    match f () with
+    | y ->
+        exit ();
+        y
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        exit ();
+        Printexc.raise_with_backtrace e bt
+  end
+
+let instant ?(args = []) name =
+  if enabled () then begin
+    let c = current_ctx () in
+    let t = Unix.gettimeofday () in
+    note_t0 t;
+    let seq = c.next_seq in
+    c.next_seq <- seq + 1;
+    let parent, depth =
+      match c.stack with
+      | [] -> (-1, 0)
+      | f :: _ -> (f.f_seq, f.f_depth + 1)
+    in
+    push c
+      {
+        dummy_event with
+        ev_name = name;
+        ev_phase = Instant;
+        ev_track = c.track;
+        ev_seq = seq;
+        ev_parent = parent;
+        ev_depth = depth;
+        ev_ts = t;
+        ev_args = args;
+      }
+  end
+
+(* Oldest-first events of one ring. *)
+let ctx_events c =
+  let n = c.len in
+  let cap = Array.length c.ring in
+  let start = (c.head - n + cap) mod cap in
+  List.init n (fun i -> c.ring.((start + i) mod cap))
+
+let events () =
+  Mutex.lock contexts_lock;
+  let cs = !contexts in
+  Mutex.unlock contexts_lock;
+  cs
+  |> List.concat_map ctx_events
+  |> List.sort (fun a b ->
+         compare (a.ev_track, a.ev_seq) (b.ev_track, b.ev_seq))
+
+let recorded () =
+  Mutex.lock contexts_lock;
+  let cs = !contexts in
+  Mutex.unlock contexts_lock;
+  List.fold_left (fun acc c -> acc + c.len) 0 cs
+
+let dropped () =
+  Mutex.lock contexts_lock;
+  let cs = !contexts in
+  Mutex.unlock contexts_lock;
+  List.fold_left (fun acc c -> acc + c.dropped) 0 cs
+
+(* Chrome trace-event JSON (the Perfetto/about:tracing format).
+   Complete spans are "X" events with microsecond ts/dur; viewers
+   recover the nesting per (pid, tid) lane from ts/dur containment,
+   and args carry the explicit (id, parent, depth) causal links plus
+   the GC deltas. *)
+let event_json base ev =
+  let usec t = (t -. base) *. 1e6 in
+  let common =
+    [
+      ("name", Json.String ev.ev_name);
+      ("pid", Json.Number 1.);
+      ("tid", Json.Number (float_of_int (ev.ev_track + 1)));
+      ("ts", Json.Number (usec ev.ev_ts));
+    ]
+  in
+  let id_args =
+    [
+      ("id", Json.Number (float_of_int ev.ev_seq));
+      ("parent", Json.Number (float_of_int ev.ev_parent));
+      ("depth", Json.Number (float_of_int ev.ev_depth));
+    ]
+  in
+  match ev.ev_phase with
+  | Complete ->
+      Json.Object
+        (common
+        @ [
+            ("ph", Json.String "X");
+            ("dur", Json.Number (usec (ev.ev_ts +. ev.ev_dur) -. usec ev.ev_ts));
+            ( "args",
+              Json.Object
+                (id_args
+                @ [
+                    ("gc_minor_words", Json.Number ev.ev_gc_minor);
+                    ("gc_promoted_words", Json.Number ev.ev_gc_promoted);
+                    ( "gc_major_collections",
+                      Json.Number (float_of_int ev.ev_gc_major) );
+                  ]) );
+          ])
+  | Instant ->
+      Json.Object
+        (common
+        @ [
+            ("ph", Json.String "i");
+            ("s", Json.String "t");
+            ("args", Json.Object (id_args @ ev.ev_args));
+          ])
+
+let to_chrome_json () =
+  let evs = events () in
+  let base =
+    let t = Atomic.get t0 in
+    if Float.is_nan t then 0. else t
+  in
+  Json.Object
+    [
+      ("traceEvents", Json.Array (List.map (event_json base) evs));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write_file path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Json.to_string (to_chrome_json ()));
+      Out_channel.output_char oc '\n')

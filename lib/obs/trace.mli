@@ -1,0 +1,90 @@
+(** Hierarchical causal tracing into fixed-capacity per-domain ring
+    buffers, exportable as Chrome trace-event JSON (loadable in
+    Perfetto / chrome://tracing).
+
+    Parent/child links are threaded through an ambient per-domain
+    context: {!enter} pushes a frame whose id becomes the parent of any
+    span or instant recorded before the matching {!exit}.  Each domain
+    owns a private ring with a single writer, so recording needs no
+    synchronisation; rings are registered globally at creation and
+    survive domain join, so a trace can be exported after the
+    {!Cm_util.Par} pool's workers are gone.
+
+    Ids are deterministic per track ([(track, seq)] with a domain-local
+    sequence counter); pool-domain track numbering depends on spawn
+    order, so only [--jobs 1] traces are identical run to run.
+
+    Tracing observes — it never perturbs.  Recording is one branch when
+    disabled, and no timestamp or id feeds back into the instrumented
+    computation: experiment outputs are bit-identical with tracing on
+    or off, at any [--jobs N].
+
+    Memory is bounded by construction: each ring holds at most
+    [capacity] events (default {!default_capacity}); once full the
+    oldest is overwritten and counted in {!dropped}. *)
+
+type phase = Complete | Instant
+
+type event = {
+  ev_name : string;
+  ev_phase : phase;
+  ev_track : int;
+  ev_seq : int;  (** deterministic per-track id *)
+  ev_parent : int;  (** seq of the enclosing span on this track; -1 = root *)
+  ev_depth : int;
+  ev_ts : float;  (** absolute seconds *)
+  ev_dur : float;  (** seconds; 0 for instants *)
+  ev_gc_minor : float;  (** [Gc.minor_words] delta over the span *)
+  ev_gc_promoted : float;
+  ev_gc_major : int;
+  ev_args : (string * Json.t) list;
+}
+
+val default_capacity : int
+(** 8192 events per domain. *)
+
+val set_enabled : ?capacity:int -> bool -> unit
+(** Enable/disable recording.  Passing [capacity] discards all recorded
+    events and applies the new per-domain ring size to every context
+    created afterwards.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val enabled : unit -> bool
+
+val enter : string -> unit
+(** Open a span; its id becomes the ambient parent.  No-op when
+    disabled. *)
+
+val exit : unit -> unit
+(** Close the innermost open span and record it (with GC deltas).
+    No-op when disabled or when no span is open. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [enter]/[exit] around [f], exception-safe; one branch when
+    disabled. *)
+
+val instant : ?args:(string * Json.t) list -> string -> unit
+(** Record a zero-duration event under the ambient parent — used for
+    attribution events (placement rejection causes, enforcement
+    violation bottlenecks). *)
+
+val events : unit -> event list
+(** All recorded events, sorted by [(track, seq)]. *)
+
+val recorded : unit -> int
+(** Events currently held across all rings. *)
+
+val dropped : unit -> int
+(** Events overwritten across all rings. *)
+
+val clear : unit -> unit
+(** Drop all recorded events and contexts.  Not safe concurrently with
+    writers. *)
+
+val to_chrome_json : unit -> Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}] — complete spans
+    as ["X"] events (microsecond ts/dur relative to the first event),
+    instants as ["i"]; args carry id/parent/depth and GC deltas. *)
+
+val write_file : string -> unit
+(** {!to_chrome_json} serialized to [path], with a trailing newline. *)

@@ -20,6 +20,27 @@ let m_place_accepted = Metrics.counter "cm.place.accepted"
 let m_reject_no_slots = Metrics.counter "cm.place.reject.no_slots"
 let m_reject_no_bandwidth = Metrics.counter "cm.place.reject.no_bandwidth"
 
+(* Rejection attribution (ISSUE 7): which constraint actually ended the
+   search.  [No_slots] is unambiguous; a [No_bandwidth] verdict is
+   classified by the evidence the attempt left in its [ctx] — uplink
+   reservations refused by [State.sync_bw] mean real bandwidth
+   exhaustion, while a search that never hit a bandwidth wall but had
+   Eq. 7 anti-affinity caps bind somewhere was ended by the HA spread
+   requirement.  The evidence writes are plain field updates on the
+   per-placement scratch context — no branch on any telemetry flag —
+   so decisions are untouched. *)
+let m_reject_c_slots = Metrics.counter "cm.place.reject.constraint.slots"
+let m_reject_c_bandwidth = Metrics.counter "cm.place.reject.constraint.bandwidth"
+
+let m_reject_c_anti_affinity =
+  Metrics.counter "cm.place.reject.constraint.anti_affinity"
+
+(* Tree level of the last subtree a rejected search attempted (one
+   observation per rejection that got past FindLowestSubtree). *)
+let m_reject_level =
+  Metrics.histogram ~buckets:[| 0.; 1.; 2.; 3.; 4.; 5.; 6.; 7. |]
+    "cm.place.reject.level"
+
 type policy = {
   colocate : bool;
   balance : bool;
@@ -129,6 +150,11 @@ type ctx = {
   demand : float array; (* vm_demand per component *)
   comp_order : int array; (* component indices, demand desc then index asc *)
   frames : frame array; (* index = tree level *)
+  (* Rejection-attribution evidence, accumulated over the whole search
+     and read only if the tenant is rejected. *)
+  mutable att_bw_failures : int; (* State.sync_bw refusals *)
+  mutable att_ha_capped : bool; (* an Eq. 7 cap bound below the ask *)
+  mutable att_last_level : int; (* level of the last attempted subtree *)
 }
 
 let idx_bits = 20
@@ -174,6 +200,9 @@ let make_ctx sched state tag =
     demand;
     comp_order;
     frames = Array.init (Tree.n_levels tree) (make_frame tree n_comp);
+    att_bw_failures = 0;
+    att_ha_capped = false;
+    att_last_level = -1;
   }
 
 (* Rebuild the alive-children ordering and the bandwidth-per-slot cache.
@@ -372,7 +401,9 @@ let md_subset_sum ctx frame remaining ~single =
       let target = avail /. float_of_int free in
       let caps = frame.caps in
       for c = 0 to n_comp - 1 do
-        caps.(c) <- min remaining.(c) (State.ha_cap state ~node:child ~comp:c)
+        let cap_ha = State.ha_cap state ~node:child ~comp:c in
+        if cap_ha < remaining.(c) then ctx.att_ha_capped <- true;
+        caps.(c) <- min remaining.(c) cap_ha
       done;
       let gsub = frame.gsub in
       Array.fill gsub 0 n_comp 0;
@@ -435,11 +466,10 @@ let rec naive_fill ctx frame remaining =
     Array.fill gsub 0 n_comp 0;
     for c = 0 to n_comp - 1 do
       let cost = Tag.vm_slots tag c in
-      let n =
-        min
-          (min remaining.(c) (!free / cost))
-          (State.ha_cap state ~node:child ~comp:c)
-      in
+      let want = min remaining.(c) (!free / cost) in
+      let cap_ha = State.ha_cap state ~node:child ~comp:c in
+      if cap_ha < want then ctx.att_ha_capped <- true;
+      let n = min want cap_ha in
       if n > 0 then begin
         gsub.(c) <- n;
         free := !free - (n * cost)
@@ -470,11 +500,10 @@ and alloc_server ctx g st =
     (fun c ->
       let cost = Tag.vm_slots tag c in
       if g.(c) > 0 && !free >= cost then begin
-        let n =
-          min
-            (min g.(c) (!free / cost))
-            (State.ha_cap state ~node:st ~comp:c)
-        in
+        let want = min g.(c) (!free / cost) in
+        let cap_ha = State.ha_cap state ~node:st ~comp:c in
+        if cap_ha < want then ctx.att_ha_capped <- true;
+        let n = min want cap_ha in
         if n > 0 && State.place state ~server:st ~comp:c ~n then begin
           placed.(c) <- n;
           free := !free - (n * cost)
@@ -487,6 +516,7 @@ and alloc_server ctx g st =
   end
   else if State.sync_bw state ~node:st then placed
   else begin
+    ctx.att_bw_failures <- ctx.att_bw_failures + 1;
     State.rollback_to state cp;
     Array.fill placed 0 n_comp 0;
     placed
@@ -560,6 +590,7 @@ and alloc_switch ctx g st =
   end
   else if State.sync_bw state ~node:st then placed
   else begin
+    ctx.att_bw_failures <- ctx.att_bw_failures + 1;
     State.rollback_to state cp;
     Array.fill placed 0 n_comp 0;
     placed
@@ -600,6 +631,37 @@ let place sched (req : Types.request) =
       (match reason with
       | Types.No_slots -> Metrics.incr m_reject_no_slots
       | Types.No_bandwidth -> Metrics.incr m_reject_no_bandwidth);
+      let constr =
+        match reason with
+        | Types.No_slots ->
+            Metrics.incr m_reject_c_slots;
+            "slots"
+        | Types.No_bandwidth ->
+            if ctx.att_ha_capped && ctx.att_bw_failures = 0 then begin
+              Metrics.incr m_reject_c_anti_affinity;
+              "anti_affinity"
+            end
+            else begin
+              Metrics.incr m_reject_c_bandwidth;
+              "bandwidth"
+            end
+      in
+      if ctx.att_last_level >= 0 then
+        Metrics.observe m_reject_level (float_of_int ctx.att_last_level);
+      if Cm_obs.Trace.enabled () then
+        Cm_obs.Trace.instant "cm.place.reject"
+          ~args:
+            [
+              ("tenant", Cm_obs.Json.String (Tag.name tag));
+              ("vms", Cm_obs.Json.Number (float_of_int total_vms));
+              ("reason", Cm_obs.Json.String (Types.reject_to_string reason));
+              ("constraint", Cm_obs.Json.String constr);
+              ( "last_level",
+                Cm_obs.Json.Number (float_of_int ctx.att_last_level) );
+              ( "sync_bw_failures",
+                Cm_obs.Json.Number (float_of_int ctx.att_bw_failures) );
+              ("ha_capped", Cm_obs.Json.Bool ctx.att_ha_capped);
+            ];
       Log.info (fun m ->
           m "reject tenant %s (%d VMs): %s" (Tag.name tag) total_vms
             (Types.reject_to_string reason));
@@ -609,6 +671,7 @@ let place sched (req : Types.request) =
       match find_lowest_subtree sched slot_demand ext level with
       | None -> attempt (level + 1)
       | Some st ->
+          ctx.att_last_level <- Tree.level tree st;
           let cp = State.checkpoint state in
           let placed = alloc ctx g0 st in
           if total placed = total_vms && State.sync_path_above state ~node:st

@@ -6,6 +6,17 @@ module Pool = Cm_workload.Pool
 module Rng = Cm_util.Rng
 module Pqueue = Cm_util.Pqueue
 module Metrics = Cm_obs.Metrics
+module Series = Cm_obs.Series
+
+(* Per-epoch series (ISSUE 7): a run given a [?series_prefix] samples
+   its per-arrival signals into series named [<prefix>.<signal>].  Each
+   logical run must use its own prefix — parallel replicate rows with
+   distinct prefixes never share a ring, which keeps documents identical
+   at any jobs count. *)
+let sample_series prefix name ~x y =
+  match prefix with
+  | None -> ()
+  | Some p -> Series.sample_named (p ^ "." ^ name) ~x y
 
 (* Arrival/departure telemetry, aggregated across every run (and every
    worker domain) of the process. *)
@@ -74,7 +85,7 @@ let max_wcs r =
   if Array.length r.wcs_per_component = 0 then 0.
   else 100. *. snd (Cm_util.Stats.min_max r.wcs_per_component)
 
-let run (sched : Driver.scheduler) tree pool config =
+let run ?series_prefix (sched : Driver.scheduler) tree pool config =
   if config.load <= 0. then invalid_arg "Runner.run: load must be positive";
   let rng = Rng.create config.seed in
   let lambda =
@@ -95,7 +106,7 @@ let run (sched : Driver.scheduler) tree pool config =
   let wcs_samples = ref [] in
   let util_sum = ref 0. in
   let total_slots = float_of_int (Tree.total_slots tree) in
-  for _ = 1 to config.n_arrivals do
+  for i = 1 to config.n_arrivals do
     clock := !clock +. Rng.exponential rng ~rate:lambda;
     Metrics.incr m_arrivals;
     (* Process departures scheduled before this arrival. *)
@@ -112,16 +123,18 @@ let run (sched : Driver.scheduler) tree pool config =
       | Some _ | None -> ()
     in
     drain ();
-    util_sum :=
-      !util_sum
-      +. (total_slots -. float_of_int (Tree.free_slots_subtree tree (Tree.root tree)))
-         /. total_slots;
+    let util =
+      (total_slots -. float_of_int (Tree.free_slots_subtree tree (Tree.root tree)))
+      /. total_slots
+    in
+    util_sum := !util_sum +. util;
+    sample_series series_prefix "utilization" ~x:(float_of_int i) util;
     let tag = Rng.pick rng pool.Pool.tags in
     let vms = Tag.total_vms tag in
     let bw = Tag.aggregate_bandwidth tag in
     offered_vms := !offered_vms + vms;
     offered_bw := !offered_bw +. bw;
-    match sched.Driver.place (Types.request ?ha:config.ha tag) with
+    (match sched.Driver.place (Types.request ?ha:config.ha tag) with
     | Ok placement ->
         incr accepted;
         Metrics.incr m_accepted;
@@ -141,7 +154,9 @@ let run (sched : Driver.scheduler) tree pool config =
         rejected_bw := !rejected_bw +. bw;
         (match reason with
         | Types.No_slots -> incr rejected_no_slots
-        | Types.No_bandwidth -> incr rejected_no_bw)
+        | Types.No_bandwidth -> incr rejected_no_bw));
+    sample_series series_prefix "acceptance_rate" ~x:(float_of_int i)
+      (float_of_int !accepted /. float_of_int i)
   done;
   (* Drain remaining tenants so the tree can be reused. *)
   let rec drain_all () =
@@ -220,7 +235,7 @@ type stranded_info = {
   mutable s_gave_up : bool;
 }
 
-let run_with_failures ?(recovery = default_recovery) ?inspect
+let run_with_failures ?series_prefix ?(recovery = default_recovery) ?inspect
     (sched : Driver.scheduler) tree pool config ~(failures : Failure.schedule) =
   if config.load <= 0. then
     invalid_arg "Runner.run_with_failures: load must be positive";
@@ -302,6 +317,11 @@ let run_with_failures ?(recovery = default_recovery) ?inspect
     ttr_max := Float.max !ttr_max ttr;
     incr ttr_count;
     total_downtime := !total_downtime +. ttr;
+    (* How far down the full -> no-HA -> partial ladder this restore
+       had to go, in attempts; x is sim time so restores line up with
+       the schedule's failure events. *)
+    sample_series series_prefix "ladder_depth" ~x:now
+      (float_of_int info.s_attempts);
     if partial then begin
       incr recovered_partial;
       Metrics.incr m_recovery_partial
@@ -512,23 +532,27 @@ let run_with_failures ?(recovery = default_recovery) ?inspect
       process_until t
     end
   in
-  for _ = 1 to config.n_arrivals do
+  for i = 1 to config.n_arrivals do
     clock := !clock +. Rng.exponential rng ~rate:lambda;
     Metrics.incr m_arrivals;
     process_until !clock;
     (* Stranded tenants get a recovery pass before the new arrival: the
        provider restores existing guarantees ahead of admitting load. *)
     if Hashtbl.length stranded_tbl > 0 then attempt_recoveries !clock;
-    util_sum :=
-      !util_sum
-      +. (total_slots -. float_of_int (Tree.free_slots_subtree tree (Tree.root tree)))
-         /. total_slots;
+    let util =
+      (total_slots -. float_of_int (Tree.free_slots_subtree tree (Tree.root tree)))
+      /. total_slots
+    in
+    util_sum := !util_sum +. util;
+    sample_series series_prefix "utilization" ~x:(float_of_int i) util;
+    sample_series series_prefix "stranded" ~x:(float_of_int i)
+      (float_of_int (Hashtbl.length stranded_tbl));
     let tag = Rng.pick rng pool.Pool.tags in
     let vms = Tag.total_vms tag in
     let bw = Tag.aggregate_bandwidth tag in
     offered_vms := !offered_vms + vms;
     offered_bw := !offered_bw +. bw;
-    match sched.Driver.place (Types.request ?ha:config.ha tag) with
+    (match sched.Driver.place (Types.request ?ha:config.ha tag) with
     | Ok placement ->
         incr accepted;
         Metrics.incr m_accepted;
@@ -549,7 +573,9 @@ let run_with_failures ?(recovery = default_recovery) ?inspect
         rejected_bw := !rejected_bw +. bw;
         (match reason with
         | Types.No_slots -> incr rejected_no_slots
-        | Types.No_bandwidth -> incr rejected_no_bw)
+        | Types.No_bandwidth -> incr rejected_no_bw));
+    sample_series series_prefix "acceptance_rate" ~x:(float_of_int i)
+      (float_of_int !accepted /. float_of_int i)
   done;
   (* Drain everything left — departures, pending injections, repairs —
      still in time order, so late repairs can rescue stranded tenants

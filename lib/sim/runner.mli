@@ -52,8 +52,15 @@ val min_wcs : result -> float
 val max_wcs : result -> float
 
 val run :
+  ?series_prefix:string ->
   Driver.scheduler -> Cm_topology.Tree.t -> Cm_workload.Pool.t -> config ->
   result
+(** [?series_prefix] opts the run into per-arrival {!Cm_obs.Series}
+    sampling: [<prefix>.utilization] (slot utilization seen by arrival
+    [i]) and [<prefix>.acceptance_rate] (running acceptance fraction),
+    with [x = i].  Prefixes must be distinct per logical run — parallel
+    rows sharing a name would interleave within one ring.  No-ops when
+    series are disabled; never affects results. *)
 
 (** {1 Failure campaign (§4.5 extended)}
 
@@ -118,6 +125,7 @@ val horizon : Cm_topology.Tree.t -> Cm_workload.Pool.t -> config -> float
     failure schedules against a given tree, pool, and load. *)
 
 val run_with_failures :
+  ?series_prefix:string ->
   ?recovery:recovery_policy ->
   ?inspect:(Cm_topology.Tree.t -> Cm_placement.Types.placement list -> unit) ->
   Driver.scheduler ->
@@ -132,7 +140,12 @@ val run_with_failures :
     with the live placements in admission order — the test suite uses it
     to audit reservation consistency mid-run.  On return the tree is
     pristine: all tenants drained, all blockades (including
-    never-repaired ones) released. *)
+    never-repaired ones) released.
+
+    [?series_prefix] samples the {!run} series plus
+    [<prefix>.stranded] (tenants down when arrival [i] was processed,
+    [x = i]) and [<prefix>.ladder_depth] (recovery attempts a restored
+    tenant needed, [x] = restore sim-time). *)
 
 val run_replications :
   ?domains:int ->

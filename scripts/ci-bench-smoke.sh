@@ -8,7 +8,8 @@
 # (Cm_experiments.Experiments.sections plus the microbenchmark
 # sections); passing an unknown name fails fast with the bench usage
 # message, so this script and the experiment library cannot drift.  The
-# document lands in bench_<section>.json (dashes become underscores).
+# document lands in bench_<section>.json (dashes become underscores) and
+# the causal trace in bench_<section>_trace.json alongside it.
 #
 # The gate is scripts/gates/<section>.py; sections without one are gated
 # on schema validity alone.  Gates check schema and invariants, never
@@ -24,6 +25,7 @@ fi
 section=$1
 shift
 out="bench_${section//-/_}.json"
+trace="bench_${section//-/_}_trace.json"
 here=$(cd "$(dirname "$0")" && pwd)
 
 run() {
@@ -34,7 +36,8 @@ run() {
   fi
 }
 
-run dune exec bench/main.exe -- "$@" "$section" --metrics-out "$out"
+run dune exec bench/main.exe -- "$@" "$section" \
+  --metrics-out "$out" --trace-out "$trace"
 
 gate="$here/gates/${section//-/_}.py"
 if [ -f "$gate" ]; then
@@ -43,7 +46,12 @@ else
   python3 -c '
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc.get("schema") == "cloudmirror.metrics/1", doc.get("schema")
+schemas = ("cloudmirror.metrics/1", "cloudmirror.metrics/2")
+assert doc.get("schema") in schemas, doc.get("schema")
 print(sys.argv[1] + ": schema OK")
 ' "$out"
 fi
+
+# Observability gate: metrics/2 series + span-GC structure and a
+# non-empty, well-formed Chrome trace.  Schema and invariants only.
+python3 "$here/gates/obs.py" "$out" "$trace"

@@ -10,10 +10,16 @@ import json
 import sys
 
 
+#: Schemas a gate accepts.  /2 is a strict superset of /1 (adds the
+#: per-epoch "series" map and per-span "gc" objects), so gates written
+#: against /1 fields keep passing unchanged.
+SCHEMAS = ("cloudmirror.metrics/1", "cloudmirror.metrics/2")
+
+
 def load(path):
     with open(path) as f:
         doc = json.load(f)
-    assert doc.get("schema") == "cloudmirror.metrics/1", doc.get("schema")
+    assert doc.get("schema") in SCHEMAS, doc.get("schema")
     return doc
 
 

@@ -1,0 +1,87 @@
+"""Gate for the observability subsystem: the bench wrote a
+cloudmirror.metrics/2 document (per-epoch series, span GC attribution)
+and a non-empty, well-formed Chrome trace-event file.
+
+Usage: obs.py <metrics.json> <trace.json>
+
+Schema and invariants only -- never wall-clock.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+import common
+
+
+def check_metrics(doc):
+    assert doc.get("schema") == "cloudmirror.metrics/2", doc.get("schema")
+
+    # Every span carries a GC-attribution object with integral deltas.
+    spans = doc["spans"]
+    assert spans, "no spans recorded"
+    for name, span in spans.items():
+        gc = span.get("gc")
+        assert isinstance(gc, dict), (name, span)
+        for field in ("minor_words", "promoted_words", "major_collections"):
+            v = gc.get(field)
+            assert isinstance(v, (int, float)) and v >= 0, (name, field, v)
+
+    # Series are bounded rings: n <= capacity, x and y aligned, x
+    # monotonically non-decreasing (epoch/time axis).
+    series = doc["series"]
+    assert isinstance(series, dict), series
+    for name, s in series.items():
+        assert s["capacity"] >= 1, (name, s)
+        assert 0 <= s["n"] <= s["capacity"], (name, s)
+        assert s["dropped"] >= 0, (name, s)
+        assert len(s["x"]) == s["n"] and len(s["y"]) == s["n"], (name, s)
+        assert all(
+            a <= b for a, b in zip(s["x"], s["x"][1:])
+        ), (name, s["x"][:8])
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc["traceEvents"]
+    assert events, "empty trace"
+    assert doc.get("displayTimeUnit") == "ms", doc.get("displayTimeUnit")
+
+    ids = {}  # tid -> set of event ids on that track
+    for ev in events:
+        assert ev["ph"] in ("X", "i"), ev
+        assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0, ev
+        assert ev["pid"] == 1 and ev["tid"] >= 1, ev
+        args = ev["args"]
+        assert args["depth"] >= 0, ev
+        ids.setdefault(ev["tid"], set()).add(args["id"])
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0, ev
+            for field in (
+                "gc_minor_words",
+                "gc_promoted_words",
+                "gc_major_collections",
+            ):
+                assert field in args, (ev["name"], sorted(args))
+
+    # Ids are per-track sequences; parent links resolve on the same
+    # track unless the parent's event was overwritten by the ring.
+    # Roots use parent -1.  At least one root span must survive.
+    spans = [ev for ev in events if ev["ph"] == "X"]
+    assert spans, "no complete spans in trace"
+    assert any(ev["args"]["parent"] == -1 for ev in spans), "no root span"
+    for ev in events:
+        p = ev["args"]["parent"]
+        assert p == -1 or p in ids[ev["tid"]] or p < ev["args"]["id"], ev
+
+
+def main():
+    metrics_path, trace_path = sys.argv[1], sys.argv[2]
+    check_metrics(common.load(metrics_path))
+    check_trace(trace_path)
+    print(f"{metrics_path} + {trace_path}: OK")
+
+
+main()

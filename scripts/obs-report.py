@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Terminal report over the observability outputs.
+
+    scripts/obs-report.py <metrics.json> [trace.json]
+
+Reads a ``cloudmirror.metrics/2`` document (``--metrics-out``) and
+optionally a Chrome trace file (``--trace-out``) and prints:
+
+  * top spans by total recorded time, with their GC attribution
+    (minor/promoted words allocated, major collections) per call;
+  * the final value of every per-epoch series, with ring occupancy;
+  * a per-track summary of the trace: span counts, nesting depth,
+    drops.
+
+Pure standard library; read-only; exits 2 on malformed input.
+"""
+
+import json
+import sys
+
+
+def die(msg):
+    sys.stderr.write(f"obs-report: {msg}\n")
+    sys.stderr.write(__doc__.split("\n")[2].strip() + "\n")
+    sys.exit(2)
+
+
+def fmt_num(v):
+    if v != v:  # nan
+        return "nan"
+    if abs(v) >= 1e6:
+        return f"{v:.3e}"
+    if v == int(v):
+        return str(int(v))
+    return f"{v:.4g}"
+
+
+def fmt_seconds(s):
+    if s >= 1.0:
+        return f"{s:.2f}s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.2f}ms"
+    return f"{s * 1e6:.0f}us"
+
+
+def report_spans(doc):
+    spans = doc.get("spans", {})
+    if not spans:
+        return
+    rows = []
+    for name, s in spans.items():
+        n = s.get("count", 0)
+        total = s.get("sum", 0.0)
+        gc = s.get("gc", {})
+        rows.append((total, name, n, s, gc))
+    rows.sort(key=lambda r: (-r[0], r[1]))
+    print("spans (by total time):")
+    print(
+        f"  {'span':<28} {'calls':>7} {'total':>10} {'mean':>10}"
+        f" {'minor w/call':>13} {'major':>6}"
+    )
+    for total, name, n, s, gc in rows:
+        mean = total / n if n else 0.0
+        minor = gc.get("minor_words", 0) / n if n else 0.0
+        major = gc.get("major_collections", 0)
+        print(
+            f"  {name:<28} {n:>7} {fmt_seconds(total):>10}"
+            f" {fmt_seconds(mean):>10} {fmt_num(minor):>13} {major:>6}"
+        )
+    print()
+
+
+def report_series(doc):
+    series = doc.get("series", {})
+    if not series:
+        return
+    print("series (final values):")
+    print(f"  {'series':<44} {'points':>12} {'last x':>8} {'last y':>10}")
+    for name in sorted(series):
+        s = series[name]
+        n, cap, dropped = s["n"], s["capacity"], s["dropped"]
+        occ = f"{n}/{cap}"
+        if dropped:
+            occ += f" (+{dropped} dropped)"
+        last_x = fmt_num(s["x"][-1]) if n else "-"
+        last_y = fmt_num(s["y"][-1]) if n else "-"
+        print(f"  {name:<44} {occ:>12} {last_x:>8} {last_y:>10}")
+    print()
+
+
+def report_trace(path):
+    try:
+        with open(path) as f:
+            trace = json.load(f)
+        events = trace["traceEvents"]
+    except (OSError, ValueError, KeyError) as e:
+        die(f"{path}: {e}")
+    tracks = {}
+    for ev in events:
+        t = tracks.setdefault(ev["tid"], {"X": 0, "i": 0, "depth": 0})
+        t[ev["ph"]] = t.get(ev["ph"], 0) + 1
+        t["depth"] = max(t["depth"], ev["args"].get("depth", 0))
+    span_time = sum(
+        ev["dur"] for ev in events
+        if ev["ph"] == "X" and ev["args"].get("depth", 0) == 0
+    )
+    print(f"trace: {len(events)} events, {len(tracks)} tracks,"
+          f" {fmt_seconds(span_time / 1e6)} in root spans")
+    for tid in sorted(tracks):
+        t = tracks[tid]
+        print(
+            f"  track {tid}: {t['X']} spans, {t['i']} instants,"
+            f" max depth {t['depth']}"
+        )
+    print()
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 3:
+        die("expected a metrics document and an optional trace file")
+    try:
+        with open(sys.argv[1]) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        die(f"{sys.argv[1]}: {e}")
+    schema = doc.get("schema")
+    if schema not in ("cloudmirror.metrics/1", "cloudmirror.metrics/2"):
+        die(f"{sys.argv[1]}: unrecognised schema {schema!r}")
+    print(f"{sys.argv[1]}: {schema}")
+    print()
+    report_spans(doc)
+    report_series(doc)
+    if len(sys.argv) == 3:
+        report_trace(sys.argv[2])
+
+
+main()
