@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test ci bench bench-fast bench-placement bench-enforce bench-inference bench-failures examples doc clean
+.PHONY: all build test ci bench bench-fast bench-placement bench-placement-scale bench-enforce bench-inference bench-failures examples doc clean
 
 all: build
 
@@ -24,6 +24,7 @@ ci:
 	dune runtest
 	scripts/ci-bench-smoke.sh fig8 --fast --arrivals 200
 	scripts/ci-bench-smoke.sh placement --fast --jobs 1
+	scripts/ci-bench-smoke.sh placement-scale --fast --arrivals 200 --jobs 2
 	scripts/ci-bench-smoke.sh enforce --jobs 1
 	scripts/ci-bench-smoke.sh inference --jobs 1
 	scripts/ci-bench-smoke.sh sim-failures --fast --arrivals 400 --jobs 1
@@ -45,6 +46,14 @@ bench-fast:
 # compare against the committed BENCH_pr3.json baseline.
 bench-placement:
 	dune exec bench/main.exe -- $(JOBS_FLAG) placement --metrics-out BENCH_placement.json
+
+# Region-scale placement sweep (2,048 -> 131,072 servers): linear scan
+# vs availability index vs pod-sharded epoch batching, with decision-
+# digest identity and jobs-invariance enforced in-process; writes a
+# metrics document to compare against the committed BENCH_pr8.json
+# baseline.
+bench-placement-scale:
+	dune exec bench/main.exe -- $(JOBS_FLAG) placement-scale --metrics-out BENCH_placement_scale.json
 
 # Enforcement control-loop benchmark only (10k+ flows, epoch-compiled
 # engine vs per-period reference loop); writes a metrics document to

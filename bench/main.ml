@@ -31,7 +31,8 @@ let metrics_out : string option ref = ref None
 let trace_out : string option ref = ref None
 
 let known_sections =
-  E.section_names @ [ "placement"; "enforce"; "inference"; "runtime" ]
+  E.section_names
+  @ [ "placement"; "placement-scale"; "enforce"; "inference"; "runtime" ]
 
 let usage oc =
   Printf.fprintf oc
@@ -236,6 +237,161 @@ let placement_bench () =
       Printf.sprintf "%.1f us" (1e6 *. wall /. float_of_int r.arrivals);
     ];
   Table.print t
+
+(* Region-scale placement sweep (ISSUE 8): the same simulated
+   arrival/departure point at 2,048 -> 131,072 servers, racing the PR 3
+   linear-scan engine against the incremental availability index, plus
+   the pod-sharded epoch-batched path.  Scan and Indexed must produce
+   byte-identical result digests at every size (the engines are
+   decision-identical by construction — this enforces it end to end),
+   and the batched run must be bit-identical at jobs 1 vs the session's
+   jobs count.  Exported as [bench.placement_scale.*] gauges (per-size
+   values keyed by server count) so the CI gate and BENCH_pr8.json carry
+   the sweep. *)
+let g_ps_servers_max = Metrics.gauge "bench.placement_scale.servers_max"
+let g_ps_speedup_top = Metrics.gauge "bench.placement_scale.speedup_top"
+let g_ps_digest_match = Metrics.gauge "bench.placement_scale.digest_match"
+let g_ps_jobs_invariant = Metrics.gauge "bench.placement_scale.jobs_invariant"
+
+let scale_specs =
+  [
+    (2_048, [ 8; 16; 16 ], [ 4.; 8. ]);
+    (8_192, [ 4; 8; 16; 16 ], [ 4.; 8.; 4. ]);
+    (32_768, [ 16; 8; 16; 16 ], [ 4.; 8.; 4. ]);
+    (131_072, [ 64; 8; 16; 16 ], [ 4.; 8.; 4. ]);
+  ]
+
+let placement_scale_bench () =
+  let module Tree = Cm_topology.Tree in
+  let module Runner = Cm_sim.Runner in
+  let module Shard = Cm_placement.Shard in
+  let module Subtree = Cm_placement.Subtree in
+  let p = !params in
+  let pool =
+    Cm_workload.Pool.scale_to_bmax
+      (Cm_workload.Pool.bing_like ~seed:p.seed ())
+      ~bmax:800.
+  in
+  let digest (r : Runner.result) =
+    Printf.sprintf "%d/%d/%d/%d/%d/%d/%d/%.3f/%.3f/%.6f/%d/%.6f" r.arrivals
+      r.accepted r.rejected r.rejected_no_slots r.rejected_no_bw r.offered_vms
+      r.rejected_vms r.offered_bw r.rejected_bw r.mean_utilization
+      (Array.length r.wcs_per_component)
+      (Array.fold_left ( +. ) 0. r.wcs_per_component)
+  in
+  let cfg =
+    {
+      Runner.default_config with
+      seed = p.seed;
+      n_arrivals = p.arrivals;
+      load = 0.9;
+    }
+  in
+  let make_tree degrees oversub =
+    Tree.create { Tree.default_spec with degrees; oversub }
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let t =
+    Table.create
+      ~caption:
+        (Printf.sprintf
+           "Region-scale placement: linear scan vs availability index vs \
+            pod-sharded batching (load 0.9, Bmax 800, seed %d, %d arrivals \
+            per size, batch jobs %d)"
+           p.seed p.arrivals (Par.default_domains ()))
+      [
+        ("servers", Table.Right);
+        ("scan dec/s", Table.Right);
+        ("indexed dec/s", Table.Right);
+        ("speedup", Table.Right);
+        ("batched dec/s", Table.Right);
+        ("identical", Table.Right);
+      ]
+  in
+  let all_match = ref true in
+  let jobs_invariant = ref true in
+  let speedup_top = ref 0. in
+  let servers_max = ref 0 in
+  List.iter
+    (fun (servers, degrees, oversub) ->
+      let gauge fmt v =
+        Metrics.set
+          (Metrics.gauge
+             (Printf.sprintf "bench.placement_scale.%s.%d" fmt servers))
+          v
+      in
+      let engine_run engine =
+        let tree = make_tree degrees oversub in
+        let sched = Cm_sim.Driver.cm ~engine tree in
+        timed (fun () -> Runner.run sched tree pool cfg)
+      in
+      let scan_wall, scan_r = engine_run Subtree.Scan in
+      let idx_wall, idx_r = engine_run Subtree.Indexed in
+      let batched_run () =
+        let tree = make_tree degrees oversub in
+        let shard = Shard.create tree in
+        let r = timed (fun () -> Runner.run_batched shard pool cfg) in
+        (r, Tree.index_stats tree)
+      in
+      let (bat_wall, bat_r), (marks, cleans) = batched_run () in
+      let saved_jobs = Par.default_domains () in
+      Par.set_default_domains 1;
+      let (_, bat_r1), _ =
+        Fun.protect
+          ~finally:(fun () -> Par.set_default_domains saved_jobs)
+          batched_run
+      in
+      if digest bat_r <> digest bat_r1 then jobs_invariant := false;
+      let matches = digest scan_r = digest idx_r in
+      if not matches then begin
+        all_match := false;
+        Printf.printf
+          "!! digest mismatch at %d servers:\n   scan    %s\n   indexed %s\n"
+          servers (digest scan_r) (digest idx_r)
+      end;
+      let dps wall = float_of_int cfg.Runner.n_arrivals /. wall in
+      let speedup = dps idx_wall /. dps scan_wall in
+      gauge "scan_dps" (dps scan_wall);
+      gauge "indexed_dps" (dps idx_wall);
+      gauge "batched_dps" (dps bat_wall);
+      gauge "speedup" speedup;
+      gauge "index_marks" (float_of_int marks);
+      gauge "index_cleans" (float_of_int cleans);
+      if Cm_obs.Series.enabled () then begin
+        let x = float_of_int servers in
+        Cm_obs.Series.sample_named "placement_scale.scan_dps" ~x
+          (dps scan_wall);
+        Cm_obs.Series.sample_named "placement_scale.indexed_dps" ~x
+          (dps idx_wall);
+        Cm_obs.Series.sample_named "placement_scale.batched_dps" ~x
+          (dps bat_wall);
+        Cm_obs.Series.sample_named "placement_scale.speedup" ~x speedup
+      end;
+      speedup_top := speedup;
+      servers_max := servers;
+      Table.add_row t
+        [
+          string_of_int servers;
+          Printf.sprintf "%.0f" (dps scan_wall);
+          Printf.sprintf "%.0f" (dps idx_wall);
+          Printf.sprintf "%.2fx" speedup;
+          Printf.sprintf "%.0f" (dps bat_wall);
+          (if matches then "yes" else "NO");
+        ])
+    scale_specs;
+  Metrics.set g_ps_servers_max (float_of_int !servers_max);
+  Metrics.set g_ps_speedup_top !speedup_top;
+  Metrics.set g_ps_digest_match (if !all_match then 1. else 0.);
+  Metrics.set g_ps_jobs_invariant (if !jobs_invariant then 1. else 0.);
+  Table.print t;
+  if not !all_match then
+    failwith "placement-scale: indexed engine diverged from the linear scan";
+  if not !jobs_invariant then
+    failwith "placement-scale: batched placement is not jobs-invariant"
 
 (* Enforcement control-loop benchmark: one big two-tier tenant with
    every src VM talking to every dst VM (10k+ concurrent flows over
@@ -611,6 +767,8 @@ let () =
     (fun (name, run) -> section name (fun () -> print_tables (run ())))
     (E.sections ~params:(p ()));
   section "placement" (fun () -> Span.with_ "section.placement" placement_bench);
+  section "placement-scale" (fun () ->
+      Span.with_ "section.placement_scale" placement_scale_bench);
   section "enforce" (fun () -> Span.with_ "section.enforce" enforce_bench);
   section "inference" (fun () ->
       Span.with_ "section.inference" inference_bench);

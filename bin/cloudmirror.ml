@@ -404,12 +404,14 @@ let run_simulate metrics kind alg seed arrivals bmax load rwcs replicates jobs
   let pool = Pool.scale_to_bmax pool ~bmax in
   let make : Cm_sim.Driver.maker =
     match alg with
-    | "cm" -> Cm_sim.Driver.cm ?policy:None
+    | "cm" -> fun t -> Cm_sim.Driver.cm t
     | "cm+opp" ->
-        Cm_sim.Driver.cm
-          ~policy:
-            { Cm_placement.Cm.default_policy with opportunistic_ha = true }
-    | "ovoc" -> Cm_sim.Driver.oktopus
+        fun t ->
+          Cm_sim.Driver.cm
+            ~policy:
+              { Cm_placement.Cm.default_policy with opportunistic_ha = true }
+            t
+    | "ovoc" -> fun t -> Cm_sim.Driver.oktopus t
     | other -> invalid_arg (Printf.sprintf "unknown algorithm %S" other)
   in
   let ha = if rwcs > 0. then Some { Types.rwcs; laa_level = 0 } else None in

@@ -400,15 +400,17 @@ let fig10 p =
   in
   let variants : (string * Driver.maker) list =
     [
-      ("Coloc+Balance", Driver.cm ~policy:Cm.default_policy);
-      ("Coloc", Driver.cm ~policy:{ Cm.default_policy with balance = false });
-      ("Balance", Driver.cm ~policy:{ Cm.default_policy with colocate = false });
+      ("Coloc+Balance", fun t -> Driver.cm ~policy:Cm.default_policy t);
+      ("Coloc", fun t -> Driver.cm ~policy:{ Cm.default_policy with balance = false } t);
+      ("Balance", fun t -> Driver.cm ~policy:{ Cm.default_policy with colocate = false } t);
       (* Design-choice ablation: colocate on the Eq. 6 size condition
          alone, without the Eq. 4 savings verification. *)
       ( "no-Eq4-verify",
-        Driver.cm
-          ~policy:{ Cm.default_policy with verify_trunk_savings = false } );
-      ("OVOC", Driver.oktopus);
+        fun t ->
+          Driver.cm
+            ~policy:{ Cm.default_policy with verify_trunk_savings = false } t
+      );
+      ("OVOC", fun t -> Driver.oktopus t);
       (* The homogeneous-VC rendering §5.1 dismisses ("always performed
          worse than VOC and TAG"). *)
       ("OVC (hose)", Driver.vc);

@@ -21,6 +21,14 @@ type t = {
   counts : (int, int array) Hashtbl.t;
   bw : (int, float * float) Hashtbl.t;
   zero_counts : int array; (* shared all-zeros inside-vector; never mutated *)
+  (* Cache of the count rows along the server→root path most recently
+     walked: rows are stable (entries are added to [counts], never
+     removed or replaced), so resolving the Hashtbl chain once per
+     server lets the per-component walks of one allocation reuse the
+     row pointers.  [path_server] = -1 when empty. *)
+  mutable path_server : int;
+  mutable path_len : int;
+  path_rows : int array array;
   mutable j_kind : int array;
   mutable j_node : int array;
   mutable j_comp : int array;
@@ -53,6 +61,9 @@ let create ?(model = Bandwidth.Tag_model) ?ha the_tree the_tag =
     counts = Hashtbl.create 64;
     bw = Hashtbl.create 64;
     zero_counts = Array.make n 0;
+    path_server = -1;
+    path_len = 0;
+    path_rows = Array.make (Tree.n_levels the_tree) [||];
     j_kind = Array.make journal_capacity 0;
     j_node = Array.make journal_capacity 0;
     j_comp = Array.make journal_capacity 0;
@@ -122,6 +133,11 @@ let count t ~node ~comp =
   | None -> 0
   | Some arr -> arr.(comp)
 
+(* Borrowed, read-only view of the live inside-vector of [node]; [None]
+   when nothing was ever placed under it.  Lets a caller that reads
+   several components of one node pay the Hashtbl lookup once. *)
+let counts_view t ~node = Hashtbl.find_opt t.counts node
+
 let counts_at t ~node =
   match Hashtbl.find_opt t.counts node with
   | None -> Array.make (Tag.n_components t.the_tag) 0
@@ -130,13 +146,24 @@ let counts_at t ~node =
 let placed_on_server t ~server = counts_at t ~node:server
 
 (* Apply a count delta on every node of the server→root path, via raw
-   parent ids (no path list allocation). *)
+   parent ids (no path list allocation).  The resolved rows are cached
+   per server: a multi-component allocation walks the same path once
+   per component, and only the first walk pays the Hashtbl chain. *)
 let add_along_path t server comp delta =
-  let id = ref server in
-  while !id >= 0 do
-    let arr = node_counts t !id in
-    arr.(comp) <- arr.(comp) + delta;
-    id := Tree.parent_id t.the_tree !id
+  if t.path_server <> server then begin
+    let len = ref 0 in
+    let id = ref server in
+    while !id >= 0 do
+      t.path_rows.(!len) <- node_counts t !id;
+      incr len;
+      id := Tree.parent_id t.the_tree !id
+    done;
+    t.path_len <- !len;
+    t.path_server <- server
+  end;
+  for i = 0 to t.path_len - 1 do
+    let arr = t.path_rows.(i) in
+    arr.(comp) <- arr.(comp) + delta
   done
 
 let ha_cap t ~node ~comp =
@@ -247,12 +274,19 @@ let rollback t =
   undo_journal_suffix t 0;
   Reservation.rollback t.txn
 
-let sync_path_above t ~node =
+let sync_path_above ?top t ~node =
+  (* [top] stops the upward sync at that node (inclusive): ancestors
+     strictly above it are left untouched.  The default — the root — is
+     the historical behaviour: syncing the root itself is a no-op (no
+     uplink), so stopping at it is the same as walking past it. *)
+  let stop = Option.value top ~default:(Tree.root t.the_tree) in
   let cp = checkpoint t in
   let rec go id =
-    match Tree.parent t.the_tree id with
-    | None -> true
-    | Some p -> if sync_bw t ~node:p then go p else false
+    if id = stop then true
+    else
+      match Tree.parent t.the_tree id with
+      | None -> true
+      | Some p -> if sync_bw t ~node:p then go p else false
   in
   if go node then true
   else begin

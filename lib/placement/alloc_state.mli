@@ -28,6 +28,13 @@ val model : t -> Cm_tag.Bandwidth.model
 val count : t -> node:int -> comp:int -> int
 (** VMs of [comp] currently placed inside [node]'s subtree. *)
 
+val counts_view : t -> node:int -> int array option
+(** Borrowed, read-only view of the live inside-vector of [node]; [None]
+    when nothing was ever placed under it.  The array is owned by the
+    state and mutates with it — callers must only read, and must not
+    hold it across a mutation.  One Hashtbl lookup for callers reading
+    several components of the same node. *)
+
 val counts_at : t -> node:int -> int array
 (** Copy of the full inside-vector at a node (all zeros if untouched). *)
 
@@ -64,9 +71,12 @@ val sync_bw : t -> node:int -> bool
     the current inside-counts ([ReserveBW] for a single link).  Returns
     [false] — recording nothing — if the increase does not fit. *)
 
-val sync_path_above : t -> node:int -> bool
-(** [sync_bw] on every node from [node]'s parent up to the root;
-    rolls back its own partial syncs on failure. *)
+val sync_path_above : ?top:int -> t -> node:int -> bool
+(** [sync_bw] on every node from [node]'s parent up to [top] (inclusive;
+    default the root — identical behaviour, since syncing the root's
+    non-existent uplink is a no-op); rolls back its own partial syncs on
+    failure.  Pod-scoped placement passes the pod root as [top] so
+    nothing above the pod is written. *)
 
 type checkpoint
 

@@ -61,17 +61,19 @@ let default_policy =
 type t = {
   the_tree : Tree.t;
   the_policy : policy;
+  the_engine : Subtree.engine;
   (* Moving average of arriving tenants' mean per-VM demand (Mbps); the
      "expected contribution of future tenant VMs" of §4.5. *)
   mutable demand_ewma : float;
   mutable n_seen : int;
 }
 
-let create ?(policy = default_policy) the_tree =
-  { the_tree; the_policy = policy; demand_ewma = 0.; n_seen = 0 }
+let create ?(policy = default_policy) ?(engine = Subtree.Indexed) the_tree =
+  { the_tree; the_policy = policy; the_engine = engine; demand_ewma = 0.; n_seen = 0 }
 
 let tree t = t.the_tree
 let policy t = t.the_policy
+let engine t = t.the_engine
 
 let total = Array.fold_left ( + ) 0
 
@@ -83,21 +85,28 @@ let demand_estimate sched tag =
   if sched.n_seen = 0 then current else Float.max current sched.demand_ewma
 
 (* Lowest tree level at which containing a tenant saves scarce bandwidth;
-   opportunistic HA starts FindLowestSubtree there. *)
-let opp_start_level sched tag =
+   opportunistic HA starts FindLowestSubtree there.  [root] restricts the
+   scarcity sample to the nodes under it (used by pod-scoped placement);
+   the default — the whole tree — iterates every level in the same
+   ascending-id order as before, so global decisions are unchanged. *)
+let opp_start_level ?root sched tag =
   let tree = sched.the_tree in
   let estimate = demand_estimate sched tag in
-  let top = Tree.n_levels tree - 1 in
+  let root = Option.value root ~default:(Tree.root tree) in
+  let top = Tree.level tree root in
+  let lo, hi = Tree.server_range tree root in
   let level_scarce l =
+    let size = Tree.level_subtree_size tree ~level:l in
+    let ids = Tree.nodes_at_level tree l in
     let bw = ref 0. and free = ref 0 in
-    Array.iter
-      (fun id ->
-        let f = Tree.free_slots_subtree tree id in
-        if f > 0 then begin
-          free := !free + f;
-          bw := !bw +. Tree.available_updown tree id
-        end)
-      (Tree.nodes_at_level tree l);
+    for i = lo / size to ((hi + 1) / size) - 1 do
+      let id = ids.(i) in
+      let f = Tree.free_slots_subtree tree id in
+      if f > 0 then begin
+        free := !free + f;
+        bw := !bw +. Tree.available_updown tree id
+      end
+    done;
     !free > 0 && !bw /. float_of_int !free < estimate
   in
   let rec search l = if l >= top then top else if level_scarce l then l else search (l + 1) in
@@ -149,6 +158,14 @@ type ctx = {
   n_comp : int;
   demand : float array; (* vm_demand per component *)
   comp_order : int array; (* component indices, demand desc then index asc *)
+  (* Colocation candidates, precomputed once per placement: hose tiers
+     with a sending self-loop, and internal trunk edges between distinct
+     components with any guarantee.  Both keep the underlying iteration
+     order (component index / edge index ascending), so scanning them is
+     decision-identical to scanning everything and skipping. *)
+  hose_comps : int array;
+  hose_bw : float array; (* self-loop snd_bw, parallel to [hose_comps] *)
+  trunk_edges : Cm_tag.Tag.edge array;
   frames : frame array; (* index = tree level *)
   (* Rejection-attribution evidence, accumulated over the whole search
      and read only if the tenant is rejected. *)
@@ -191,6 +208,24 @@ let make_ctx sched state tag =
       let c = compare demand.(b) demand.(a) in
       if c <> 0 then c else compare a b)
     comp_order;
+  let hose = ref [] in
+  for c = n_comp - 1 downto 0 do
+    match Tag.self_loop tag c with
+    | Some (e : Tag.edge) when e.snd_bw > 0. -> hose := (c, e.snd_bw) :: !hose
+    | Some _ | None -> ()
+  done;
+  let hose_comps = Array.of_list (List.map fst !hose) in
+  let hose_bw = Array.of_list (List.map snd !hose) in
+  let trunk_edges =
+    Array.of_seq
+      (Seq.filter
+         (fun (e : Tag.edge) ->
+           (not (Tag.is_external tag e.src))
+           && (not (Tag.is_external tag e.dst))
+           && e.src <> e.dst
+           && (e.snd_bw > 0. || e.rcv_bw > 0.))
+         (Array.to_seq (Tag.edges tag)))
+  in
   {
     sched;
     state;
@@ -199,6 +234,9 @@ let make_ctx sched state tag =
     n_comp;
     demand;
     comp_order;
+    hose_comps;
+    hose_bw;
+    trunk_edges;
     frames = Array.init (Tree.n_levels tree) (make_frame tree n_comp);
     att_bw_failures = 0;
     att_ha_capped = false;
@@ -302,39 +340,37 @@ let find_tiers_to_coloc ~verify ctx frame remaining =
         (min remaining.(c) (free / Tag.vm_slots tag c))
         (State.ha_cap state ~node:child ~comp:c)
     in
-    let inside c = State.count state ~node:child ~comp:c in
+    let inside_row = State.counts_view state ~node:child in
+    let inside c =
+      match inside_row with None -> 0 | Some arr -> arr.(c)
+    in
     frame.best_score <- 0.;
-    (* Hose (self-loop) tiers: Eq. 2. *)
-    for c = 0 to n_comp - 1 do
-      match Tag.self_loop tag c with
-      | Some e when e.snd_bw > 0. && not (low_bw c) ->
-          let k = cap c in
-          if k > 0 then begin
-            let after = inside c + k in
-            let n_total = Tag.size tag c in
-            if Bandwidth.hose_saving_possible ~n_total ~n_inside:after
-            then begin
-              let score =
-                float_of_int ((2 * after) - n_total) *. e.snd_bw
-              in
-              Array.fill frame.gsub 0 n_comp 0;
-              frame.gsub.(c) <- k;
-              consider frame score
-            end
+    (* Hose (self-loop) tiers: Eq. 2.  [hose_comps] preserves component
+       order, so candidates are considered exactly as the full scan
+       did. *)
+    for h = 0 to Array.length ctx.hose_comps - 1 do
+      let c = ctx.hose_comps.(h) in
+      if not (low_bw c) then begin
+        let k = cap c in
+        if k > 0 then begin
+          let after = inside c + k in
+          let n_total = Tag.size tag c in
+          if Bandwidth.hose_saving_possible ~n_total ~n_inside:after then begin
+            let score = float_of_int ((2 * after) - n_total) *. ctx.hose_bw.(h) in
+            Array.fill frame.gsub 0 n_comp 0;
+            frame.gsub.(c) <- k;
+            consider frame score
           end
-      | Some _ | None -> ()
+        end
+      end
     done;
     (* Trunk pairs: Eq. 6 filter, Eq. 4 verification, both directions.
-       Edges to external components never benefit from colocation. *)
-    let edges = Tag.edges tag in
+       Edges to external components never benefit from colocation;
+       [trunk_edges] pre-filters them in edge order. *)
+    let edges = ctx.trunk_edges in
     for ei = 0 to Array.length edges - 1 do
       let e = edges.(ei) in
-      if
-        (not (Tag.is_external tag e.src))
-        && (not (Tag.is_external tag e.dst))
-        && e.src <> e.dst
-        && (e.snd_bw > 0. || e.rcv_bw > 0.)
-      then
+      begin
         if not (low_bw e.src && low_bw e.dst) then begin
           let cap_src = cap e.src and cap_dst = cap e.dst in
           let cost_src = Tag.vm_slots tag e.src
@@ -374,6 +410,7 @@ let find_tiers_to_coloc ~verify ctx frame remaining =
             consider frame score
           end
         end
+      end
     done;
     if frame.best_score > 0. then Some (child_idx, child, frame.gsub_best)
     else None
@@ -596,16 +633,21 @@ and alloc_switch ctx g st =
     placed
   end
 
-let find_lowest_subtree sched total_vms ext level =
-  Subtree.find_lowest sched.the_tree ~total_vms ~ext ~level
-
 let update_ewma sched tag =
   let d = Tag.mean_vm_demand tag in
   if sched.n_seen = 0 then sched.demand_ewma <- d
   else sched.demand_ewma <- (0.9 *. sched.demand_ewma) +. (0.1 *. d);
   sched.n_seen <- sched.n_seen + 1
 
-let place sched (req : Types.request) =
+(* The placement loop, scoped to the subtree under [root].  [clamps]
+   must be [Tree.available_to_root root] (or infinities at the tree
+   root); [sync_top] bounds the bandwidth sync so nothing above [root]
+   is written — pod-sharded batching relies on that to run disjoint pods
+   from parallel domains.  [observe:false] skips the accept/reject
+   counters, trace instants and logs so pod-internal attempts don't
+   pollute the global decision-attribution telemetry (the shard
+   coordinator accounts outcomes itself). *)
+let place_scoped sched ~root ~clamps ~observe (req : Types.request) =
   let tag = req.tag in
   let tree = sched.the_tree in
   let total_vms = Tag.total_vms tag in
@@ -617,80 +659,92 @@ let place sched (req : Types.request) =
   let ext = State.external_demand state in
   let g0 = Array.init (Tag.n_components tag) (Tag.size tag) in
   let start_level =
-    if sched.the_policy.opportunistic_ha then opp_start_level sched tag else 0
+    if sched.the_policy.opportunistic_ha then opp_start_level ~root sched tag
+    else 0
   in
-  let top = Tree.n_levels tree - 1 in
+  let top = Tree.level tree root in
+  let sync_top = if root = Tree.root tree then None else Some root in
   let reject () =
-    if Tree.free_slots_subtree tree (Tree.root tree) < slot_demand then
-      Types.No_slots
+    if Tree.free_slots_subtree tree root < slot_demand then Types.No_slots
     else Types.No_bandwidth
   in
   let rec attempt level =
     if level > top then begin
       let reason = reject () in
-      (match reason with
-      | Types.No_slots -> Metrics.incr m_reject_no_slots
-      | Types.No_bandwidth -> Metrics.incr m_reject_no_bandwidth);
-      let constr =
-        match reason with
-        | Types.No_slots ->
-            Metrics.incr m_reject_c_slots;
-            "slots"
-        | Types.No_bandwidth ->
-            if ctx.att_ha_capped && ctx.att_bw_failures = 0 then begin
-              Metrics.incr m_reject_c_anti_affinity;
-              "anti_affinity"
-            end
-            else begin
-              Metrics.incr m_reject_c_bandwidth;
-              "bandwidth"
-            end
-      in
-      if ctx.att_last_level >= 0 then
-        Metrics.observe m_reject_level (float_of_int ctx.att_last_level);
-      if Cm_obs.Trace.enabled () then
-        Cm_obs.Trace.instant "cm.place.reject"
-          ~args:
-            [
-              ("tenant", Cm_obs.Json.String (Tag.name tag));
-              ("vms", Cm_obs.Json.Number (float_of_int total_vms));
-              ("reason", Cm_obs.Json.String (Types.reject_to_string reason));
-              ("constraint", Cm_obs.Json.String constr);
-              ( "last_level",
-                Cm_obs.Json.Number (float_of_int ctx.att_last_level) );
-              ( "sync_bw_failures",
-                Cm_obs.Json.Number (float_of_int ctx.att_bw_failures) );
-              ("ha_capped", Cm_obs.Json.Bool ctx.att_ha_capped);
-            ];
-      Log.info (fun m ->
-          m "reject tenant %s (%d VMs): %s" (Tag.name tag) total_vms
-            (Types.reject_to_string reason));
+      if observe then begin
+        (match reason with
+        | Types.No_slots -> Metrics.incr m_reject_no_slots
+        | Types.No_bandwidth -> Metrics.incr m_reject_no_bandwidth);
+        let constr =
+          match reason with
+          | Types.No_slots ->
+              Metrics.incr m_reject_c_slots;
+              "slots"
+          | Types.No_bandwidth ->
+              if ctx.att_ha_capped && ctx.att_bw_failures = 0 then begin
+                Metrics.incr m_reject_c_anti_affinity;
+                "anti_affinity"
+              end
+              else begin
+                Metrics.incr m_reject_c_bandwidth;
+                "bandwidth"
+              end
+        in
+        if ctx.att_last_level >= 0 then
+          Metrics.observe m_reject_level (float_of_int ctx.att_last_level);
+        if Cm_obs.Trace.enabled () then
+          Cm_obs.Trace.instant "cm.place.reject"
+            ~args:
+              [
+                ("tenant", Cm_obs.Json.String (Tag.name tag));
+                ("vms", Cm_obs.Json.Number (float_of_int total_vms));
+                ("reason", Cm_obs.Json.String (Types.reject_to_string reason));
+                ("constraint", Cm_obs.Json.String constr);
+                ( "last_level",
+                  Cm_obs.Json.Number (float_of_int ctx.att_last_level) );
+                ( "sync_bw_failures",
+                  Cm_obs.Json.Number (float_of_int ctx.att_bw_failures) );
+                ("ha_capped", Cm_obs.Json.Bool ctx.att_ha_capped);
+              ];
+        Log.info (fun m ->
+            m "reject tenant %s (%d VMs): %s" (Tag.name tag) total_vms
+              (Types.reject_to_string reason))
+      end;
       Error reason
     end
     else
-      match find_lowest_subtree sched slot_demand ext level with
+      match
+        Subtree.find_lowest_under ~engine:sched.the_engine tree ~root ~clamps
+          ~total_vms:slot_demand ~ext ~level
+      with
       | None -> attempt (level + 1)
       | Some st ->
           ctx.att_last_level <- Tree.level tree st;
           let cp = State.checkpoint state in
           let placed = alloc ctx g0 st in
-          if total placed = total_vms && State.sync_path_above state ~node:st
+          if
+            total placed = total_vms
+            && State.sync_path_above ?top:sync_top state ~node:st
           then begin
             let locations = State.server_locations state in
             let committed = State.commit state in
-            Metrics.incr m_place_accepted;
-            Log.debug (fun m ->
-                m "placed tenant %s (%d VMs) under node %d (level %d)"
-                  (Tag.name tag) total_vms st (Tree.level tree st));
+            if observe then begin
+              Metrics.incr m_place_accepted;
+              Log.debug (fun m ->
+                  m "placed tenant %s (%d VMs) under node %d (level %d)"
+                    (Tag.name tag) total_vms st (Tree.level tree st))
+            end;
             Ok { Types.req; locations; committed }
           end
           else begin
-            Metrics.incr m_place_backtracks;
-            Log.debug (fun m ->
-                m "tenant %s: subtree %d (level %d) failed with %d/%d VMs \
-                   placed; retrying higher"
-                  (Tag.name tag) st (Tree.level tree st) (total placed)
-                  total_vms);
+            if observe then begin
+              Metrics.incr m_place_backtracks;
+              Log.debug (fun m ->
+                  m "tenant %s: subtree %d (level %d) failed with %d/%d VMs \
+                     placed; retrying higher"
+                    (Tag.name tag) st (Tree.level tree st) (total placed)
+                    total_vms)
+            end;
             State.rollback_to state cp;
             attempt (Tree.level tree st + 1)
           end
@@ -698,6 +752,14 @@ let place sched (req : Types.request) =
   let result = attempt start_level in
   update_ewma sched tag;
   result
+
+let place sched (req : Types.request) =
+  place_scoped sched ~root:(Tree.root sched.the_tree)
+    ~clamps:(infinity, infinity) ~observe:true req
+
+let place_under sched ~root (req : Types.request) =
+  let clamps = Tree.available_to_root sched.the_tree root in
+  place_scoped sched ~root ~clamps ~observe:false req
 
 let release sched (placement : Types.placement) =
   Cm_topology.Reservation.release sched.the_tree placement.committed
@@ -744,7 +806,8 @@ let grow sched (placement : Types.placement) ~comp ~delta =
     if level > top then Error (reject ())
     else
       match
-        Subtree.find_lowest tree ~total_vms:delta_slots ~ext:(0., 0.) ~level
+        Subtree.find_lowest ~engine:sched.the_engine tree
+          ~total_vms:delta_slots ~ext:(0., 0.) ~level
       with
       | None -> attempt (level + 1)
       | Some st ->

@@ -42,14 +42,33 @@ type t
 (** A scheduler bound to one datacenter tree.  It carries the
     moving-average demand estimator used by opportunistic HA. *)
 
-val create : ?policy:policy -> Cm_topology.Tree.t -> t
+val create :
+  ?policy:policy -> ?engine:Subtree.engine -> Cm_topology.Tree.t -> t
+(** [engine] selects the subtree-search implementation (default
+    [Indexed]; all engines are decision-identical — see {!Subtree}). *)
+
 val tree : t -> Cm_topology.Tree.t
 val policy : t -> policy
+val engine : t -> Subtree.engine
 
 val place :
   t -> Types.request -> (Types.placement, Types.reject_reason) result
 (** Deploy a tenant.  On success all slot and bandwidth reservations are
     committed to the tree; on rejection the tree is untouched. *)
+
+val place_under :
+  t ->
+  root:int ->
+  Types.request ->
+  (Types.placement, Types.reject_reason) result
+(** {!place} restricted to the subtree under [root]: candidate subtrees,
+    the opportunistic-HA scarcity sample and the attempt ladder all stop
+    at [root], path feasibility is clamped by
+    [Tree.available_to_root root], and bandwidth syncs stop at [root]'s
+    own uplink (inclusive) — nothing strictly above [root] is read in a
+    racy way or written, so disjoint roots can place from parallel
+    domains while a shard barrier is set (see {!Shard}).  Skips the
+    accept/reject telemetry; callers account outcomes themselves. *)
 
 val release : t -> Types.placement -> unit
 (** Return a previously committed tenant's resources (departure). *)

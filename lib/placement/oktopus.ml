@@ -3,9 +3,9 @@ module Tag = Cm_tag.Tag
 module Bandwidth = Cm_tag.Bandwidth
 module State = Alloc_state
 
-type t = { the_tree : Tree.t }
+type t = { the_tree : Tree.t; the_engine : Subtree.engine }
 
-let create the_tree = { the_tree }
+let create ?(engine = Subtree.Indexed) the_tree = { the_tree; the_engine = engine }
 let tree t = t.the_tree
 
 (* Pack as many of [want] VMs of [comp] as possible onto one server,
@@ -62,12 +62,22 @@ let place_cluster state ~comp st =
   let the_tree = State.tree state in
   let n = Tag.size (State.tag state) comp in
   let slot_demand = n * Tag.vm_slots (State.tag state) comp in
-  let candidates =
-    List.filter
-      (fun id -> Tree.free_slots_subtree the_tree id >= slot_demand)
-      (Subtree.all_under the_tree st)
-  in
-  List.exists (fun sub -> place_cluster_under state ~comp ~n sub) candidates
+  (* Lazy walk over the subtree's nodes in the same (level, id) order the
+     eager filter + List.exists used; equivalent because a failed
+     [place_cluster_under] rolls back exactly, so later candidates see
+     the same free counts either way — and stopping at the first success
+     skips the rest of the filter's allocation entirely. *)
+  let candidates = Subtree.all_under_array the_tree st in
+  let n_cand = Array.length candidates in
+  let placed = ref false in
+  let i = ref 0 in
+  while (not !placed) && !i < n_cand do
+    let sub = candidates.(!i) in
+    if Tree.free_slots_subtree the_tree sub >= slot_demand then
+      placed := place_cluster_under state ~comp ~n sub;
+    incr i
+  done;
+  !placed
 
 (* After all clusters landed, bring every switch uplink inside [st] in
    line with the VOC requirement (server uplinks were synced during
@@ -100,7 +110,10 @@ let place t (req : Types.request) =
   let rec attempt level =
     if level > top then Error (reject ())
     else
-      match Subtree.find_lowest the_tree ~total_vms ~ext ~level with
+      match
+        Subtree.find_lowest ~engine:t.the_engine the_tree ~total_vms ~ext
+          ~level
+      with
       | None -> attempt (level + 1)
       | Some st ->
           let cp = State.checkpoint state in

@@ -17,7 +17,10 @@
 
 type t
 
-val create : Cm_topology.Tree.t -> t
+val create : ?engine:Subtree.engine -> Cm_topology.Tree.t -> t
+(** [engine] selects the subtree-search implementation (default
+    [Indexed]; all engines are decision-identical). *)
+
 val tree : t -> Cm_topology.Tree.t
 
 val place :

@@ -1,15 +1,39 @@
 module Tree = Cm_topology.Tree
+module Metrics = Cm_obs.Metrics
 
-(* One top-down pass computes every candidate's path-to-root availability:
-   the (up, down) headroom clamps only shrink while descending, so each
-   tree edge is visited at most once instead of once per candidate root
-   walk.  Two prunes cut whole branches: a subtree with fewer free slots
-   than the tenant cannot contain a fitting node (free counts are subtree
-   sums), and a path whose clamped availability already fails [ext] cannot
-   recover below.  The selection key — fewest free slots, then lowest id —
-   is order-independent, so the result is bit-identical to the old
-   per-candidate scan over [nodes_at_level]. *)
-let find_lowest tree ~total_vms ~ext:(ext_out, ext_in) ~level =
+let m_index_queries = Metrics.counter "cm.index.queries"
+
+(* Three interchangeable engines answer FindLowestSubtree.  [Scan] is the
+   PR 3 single top-down pass; [Indexed] descends the tree's incremental
+   availability index with admissible prunes and a branch-and-bound
+   ordering on the packed (fewest free slots, lowest id) key; [Checked]
+   runs both and raises on any disagreement.  All three return the same
+   node for every tree state: the key is unique per node (the id is
+   embedded), so the feasible argmin is independent of exploration
+   order. *)
+type engine = Scan | Indexed | Checked
+
+let engine_name = function
+  | Scan -> "scan"
+  | Indexed -> "indexed"
+  | Checked -> "checked"
+
+(* One top-down pass computes every candidate's path availability: the
+   (up, down) headroom clamps only shrink while descending, so each tree
+   edge is visited at most once instead of once per candidate root walk.
+   Two prunes cut whole branches: a subtree with fewer free slots than
+   the tenant cannot contain a fitting node (free counts are subtree
+   sums), and a path whose clamped availability already fails [ext]
+   cannot recover below.  The selection key — fewest free slots, then
+   lowest id — is order-independent, so the result is bit-identical to
+   the original per-candidate scan over [nodes_at_level].
+
+   [root]/[clamps] scope the search: [clamps] must be the (up, down)
+   availability accumulated from the tree root down to and including
+   [root]'s own uplink (i.e. [Tree.available_to_root root]).  With the
+   tree root and infinite clamps this is exactly the global search. *)
+let find_lowest_scan tree ~root ~clamps:(u0, d0) ~total_vms
+    ~ext:(ext_out, ext_in) ~level =
   let eps = Tree.bw_epsilon in
   let best = ref (-1) in
   let best_free = ref max_int in
@@ -32,19 +56,136 @@ let find_lowest tree ~total_vms ~ext:(ext_out, ext_in) ~level =
           end)
         (Tree.children tree id)
   in
-  let root = Tree.root tree in
-  if Tree.free_slots_subtree tree root >= total_vms then
-    scan root (Tree.level tree root) infinity infinity;
+  if
+    Tree.free_slots_subtree tree root >= total_vms
+    && u0 +. eps >= ext_out
+    && d0 +. eps >= ext_in
+  then scan root (Tree.level tree root) u0 d0;
   if !best < 0 then None else Some !best
 
-let all_under tree root =
-  let rec collect id acc =
-    let acc = id :: acc in
-    Array.fold_left (fun acc c -> collect c acc) acc (Tree.children tree id)
+(* Index descent.  Equivalent to [find_lowest_scan] because every prune
+   is admissible and the selection key is unique:
+
+   - [index_min_feasible_free c >= total_vms] is required for any
+     level-[level] descendant of [c] to fit the tenant, and it subsumes
+     the scan's own [free c >= total_vms] intermediate checks (free
+     counts are subtree sums, so they pass whenever a candidate exists
+     below); [max_int] means no descendant fits at all;
+   - [min clamp index_max_ext + eps < ext] implies every candidate's
+     clamped path availability fails the same comparison the scan makes
+     (the index stores the max over candidates of the path minimum), and
+     it subsumes the scan's per-edge clamp check;
+   - children are explored in ascending id order, and sibling subtrees
+     hold disjoint, ordered id ranges at every level, so once a best key
+     with free value [f*] is held, a later sibling whose cheapest
+     feasible free value is >= [f*] cannot improve it: a strictly
+     larger free value loses outright, and an equal one loses the id
+     tie-break to the earlier subtree.  That bound — unlike the plain
+     minimum key, which full (0-free) subtrees pin below any feasible
+     key at steady state — prunes exactly the regions a best-fit search
+     must not waste time in. *)
+let find_lowest_indexed tree ~root ~clamps:(u0, d0) ~total_vms
+    ~ext:(ext_out, ext_in) ~level =
+  Metrics.incr m_index_queries;
+  let eps = Tree.bw_epsilon in
+  let best = ref max_int in
+  let best_free = ref max_int in
+  let rec go id up down =
+    let children = Tree.children tree id in
+    if Tree.level tree id - 1 = level then
+      Array.iter
+        (fun c ->
+          let free = Tree.free_slots_subtree tree c in
+          if free >= total_vms then begin
+            let cu = Float.min up (Tree.available_up tree c) in
+            let cd = Float.min down (Tree.available_down tree c) in
+            if cu +. eps >= ext_out && cd +. eps >= ext_in then begin
+              let k = Tree.index_key tree c in
+              if k < !best then begin
+                best := k;
+                best_free := free
+              end
+            end
+          end)
+        children
+    else
+      Array.iter
+        (fun c ->
+          let lb =
+            Tree.index_min_feasible_free tree ~tlevel:level c ~vms:total_vms
+          in
+          if lb < !best_free then begin
+            let cu = Float.min up (Tree.available_up tree c) in
+            let cd = Float.min down (Tree.available_down tree c) in
+            if
+              Float.min cu (Tree.index_max_ext_up tree ~tlevel:level c) +. eps
+              >= ext_out
+              && Float.min cd (Tree.index_max_ext_down tree ~tlevel:level c)
+                 +. eps
+                 >= ext_in
+            then go c cu cd
+          end)
+        children
   in
-  collect root []
-  |> List.sort (fun a b ->
-         compare (Tree.level tree a, a) (Tree.level tree b, b))
+  if
+    Tree.free_slots_subtree tree root >= total_vms
+    && u0 +. eps >= ext_out
+    && d0 +. eps >= ext_in
+  then
+    if Tree.level tree root = level then best := Tree.index_key tree root
+    else go root u0 d0;
+  if !best = max_int then None else Some (Tree.index_key_id tree !best)
+
+let find_lowest_under ?(engine = Indexed) tree ~root ~clamps ~total_vms ~ext
+    ~level =
+  match engine with
+  | Scan -> find_lowest_scan tree ~root ~clamps ~total_vms ~ext ~level
+  | Indexed -> find_lowest_indexed tree ~root ~clamps ~total_vms ~ext ~level
+  | Checked ->
+      let s = find_lowest_scan tree ~root ~clamps ~total_vms ~ext ~level in
+      let i = find_lowest_indexed tree ~root ~clamps ~total_vms ~ext ~level in
+      if s <> i then
+        failwith
+          (Printf.sprintf
+             "Subtree.find_lowest: engine mismatch at level %d (scan=%d \
+              indexed=%d vms=%d)"
+             level
+             (Option.value s ~default:(-1))
+             (Option.value i ~default:(-1))
+             total_vms);
+      s
+
+let find_lowest ?engine tree ~total_vms ~ext ~level =
+  find_lowest_under ?engine tree ~root:(Tree.root tree)
+    ~clamps:(infinity, infinity) ~total_vms ~ext ~level
+
+(* Nodes of a subtree in (level, id) ascending order, computed
+   arithmetically: server ids are contiguous left-to-right, so the
+   level-[l] nodes under a root with server range [(lo, hi)] sit at
+   positions [lo / size_l .. (hi + 1) / size_l - 1] of
+   [nodes_at_level l] — no recursive collection, no sort, no per-call
+   list cells. *)
+let all_under_array tree root =
+  let lo, hi = Tree.server_range tree root in
+  let rlevel = Tree.level tree root in
+  let span = hi - lo + 1 in
+  let n = ref 0 in
+  for l = 0 to rlevel do
+    n := !n + (span / Tree.level_subtree_size tree ~level:l)
+  done;
+  let out = Array.make !n 0 in
+  let pos = ref 0 in
+  for l = 0 to rlevel do
+    let size = Tree.level_subtree_size tree ~level:l in
+    let ids = Tree.nodes_at_level tree l in
+    for i = lo / size to ((hi + 1) / size) - 1 do
+      out.(!pos) <- ids.(i);
+      incr pos
+    done
+  done;
+  out
+
+let all_under tree root = Array.to_list (all_under_array tree root)
 
 let contains tree ~root id =
   let rlo, rhi = Tree.server_range tree root in

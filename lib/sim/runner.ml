@@ -182,6 +182,130 @@ let run ?series_prefix (sched : Driver.scheduler) tree pool config =
     mean_utilization = !util_sum /. float_of_int (max 1 config.n_arrivals);
   }
 
+(* Epoch-batched variant of {!run}: arrivals are drawn [epoch] at a time
+   and placed together through {!Cm_placement.Shard.place_batch}.  Every
+   RNG draw happens serially — the whole epoch's inter-arrival times and
+   tags first, then the accepted tenants' dwell times in arrival order —
+   so the trajectory is deterministic and jobs-invariant (the only
+   parallelism is inside [place_batch], which is itself
+   domains-invariant).  Departures scheduled inside an epoch take effect
+   at the next epoch boundary; accounting otherwise mirrors {!run}
+   sample for sample. *)
+let run_batched ?series_prefix ?(epoch = 64) shard pool config =
+  let module Shard = Cm_placement.Shard in
+  if config.load <= 0. then
+    invalid_arg "Runner.run_batched: load must be positive";
+  if epoch <= 0 then invalid_arg "Runner.run_batched: epoch must be positive";
+  let tree = Shard.tree shard in
+  let rng = Rng.create config.seed in
+  let lambda =
+    config.load
+    *. float_of_int (Tree.total_slots tree)
+    /. (Pool.mean_size pool *. config.dwell_time)
+  in
+  let departures = Pqueue.create () in
+  let clock = ref 0. in
+  let accepted = ref 0
+  and rejected = ref 0
+  and rejected_no_slots = ref 0
+  and rejected_no_bw = ref 0
+  and offered_vms = ref 0
+  and rejected_vms = ref 0
+  and offered_bw = ref 0.
+  and rejected_bw = ref 0. in
+  let wcs_samples = ref [] in
+  let util_sum = ref 0. in
+  let total_slots = float_of_int (Tree.total_slots tree) in
+  let drain () =
+    let rec go () =
+      match Pqueue.peek departures with
+      | Some (t, _) when t <= !clock -> begin
+          match Pqueue.pop departures with
+          | Some (_, placement) ->
+              Shard.release shard placement;
+              Metrics.incr m_departures;
+              go ()
+          | None -> ()
+        end
+      | Some _ | None -> ()
+    in
+    go ()
+  in
+  let i = ref 0 in
+  while !i < config.n_arrivals do
+    let b = min epoch (config.n_arrivals - !i) in
+    let drawn = ref [] in
+    for j = 1 to b do
+      let x = float_of_int (!i + j) in
+      clock := !clock +. Rng.exponential rng ~rate:lambda;
+      Metrics.incr m_arrivals;
+      drain ();
+      let util =
+        (total_slots
+        -. float_of_int (Tree.free_slots_subtree tree (Tree.root tree)))
+        /. total_slots
+      in
+      util_sum := !util_sum +. util;
+      sample_series series_prefix "utilization" ~x util;
+      let tag = Rng.pick rng pool.Pool.tags in
+      offered_vms := !offered_vms + Tag.total_vms tag;
+      offered_bw := !offered_bw +. Tag.aggregate_bandwidth tag;
+      drawn := (x, !clock, tag) :: !drawn
+    done;
+    let batch = List.rev !drawn in
+    let results =
+      Shard.place_batch shard
+        (List.map (fun (_, _, tag) -> Types.request ?ha:config.ha tag) batch)
+    in
+    List.iter2
+      (fun (x, t_arr, tag) result ->
+        (match result with
+        | Ok placement ->
+            incr accepted;
+            Metrics.incr m_accepted;
+            let wcs =
+              Wcs.per_component tree placement.Types.req.tag
+                placement.Types.locations ~laa_level:config.wcs_level
+            in
+            Array.iter (fun w -> wcs_samples := w :: !wcs_samples) wcs;
+            let dwell = Rng.exponential rng ~rate:(1. /. config.dwell_time) in
+            Pqueue.push departures (t_arr +. dwell) placement
+        | Error reason ->
+            incr rejected;
+            Metrics.incr m_rejected;
+            rejected_vms := !rejected_vms + Tag.total_vms tag;
+            rejected_bw := !rejected_bw +. Tag.aggregate_bandwidth tag;
+            (match reason with
+            | Types.No_slots -> incr rejected_no_slots
+            | Types.No_bandwidth -> incr rejected_no_bw));
+        sample_series series_prefix "acceptance_rate" ~x
+          (float_of_int !accepted /. x))
+      batch results;
+    i := !i + b
+  done;
+  let rec drain_all () =
+    match Pqueue.pop departures with
+    | Some (_, placement) ->
+        Shard.release shard placement;
+        Metrics.incr m_departures;
+        drain_all ()
+    | None -> ()
+  in
+  drain_all ();
+  {
+    arrivals = config.n_arrivals;
+    accepted = !accepted;
+    rejected = !rejected;
+    rejected_no_slots = !rejected_no_slots;
+    rejected_no_bw = !rejected_no_bw;
+    offered_vms = !offered_vms;
+    rejected_vms = !rejected_vms;
+    offered_bw = !offered_bw;
+    rejected_bw = !rejected_bw;
+    wcs_per_component = Array.of_list (List.rev !wcs_samples);
+    mean_utilization = !util_sum /. float_of_int (max 1 config.n_arrivals);
+  }
+
 let horizon tree pool config =
   float_of_int config.n_arrivals
   *. Pool.mean_size pool *. config.dwell_time

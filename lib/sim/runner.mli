@@ -62,6 +62,22 @@ val run :
     rows sharing a name would interleave within one ring.  No-ops when
     series are disabled; never affects results. *)
 
+val run_batched :
+  ?series_prefix:string ->
+  ?epoch:int ->
+  Cm_placement.Shard.t ->
+  Cm_workload.Pool.t ->
+  config ->
+  result
+(** Epoch-batched variant of {!run} over a sharded allocator: arrivals
+    are drawn [epoch] (default 64) at a time and placed together through
+    {!Cm_placement.Shard.place_batch}.  Deterministic and jobs-invariant
+    (all RNG draws are serial, in a fixed order); {e not} required to
+    match {!run}'s one-at-a-time trajectory — pods decide concurrently
+    against epoch-start state, and departures inside an epoch take
+    effect at the next epoch boundary.  Accounting and [?series_prefix]
+    semantics mirror {!run}. *)
+
 (** {1 Failure campaign (§4.5 extended)}
 
     [run_with_failures] is {!run} with a correlated {!Failure.schedule}

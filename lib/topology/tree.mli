@@ -74,6 +74,14 @@ val path_to_root : t -> int -> int list
 
 val total_slots : t -> int
 
+val level_subtree_size : t -> level:int -> int
+(** Servers under one node of the given level (every node of a level
+    covers the same number — trees are regular).  With {!server_range}
+    this converts a node's range into positions inside
+    {!nodes_at_level}: level-[l] nodes under a node with range
+    [(lo, hi)] occupy positions [lo / size_l .. (hi + 1) / size_l - 1]
+    where [size_l = level_subtree_size t ~level:l]. *)
+
 (** {1 Slots} *)
 
 val slots_per_server : t -> int
@@ -128,3 +136,88 @@ val utilization_summary : t -> level:int -> float * float
 val reserved_at_level : t -> level:int -> float * float
 (** Total (up, down) Mbps reserved on uplinks of the given level —
     Table 1's "reserved bandwidth at server/ToR/agg level". *)
+
+(** {1 Incremental availability index}
+
+    For every internal node [v] and target level [tlevel < level v] the
+    tree maintains, over the level-[tlevel] descendants [d] of [v]:
+    the minimum packed selection key [(free_slots_subtree d, d)]
+    ({!index_min_key}), the maximum [free_slots_subtree d]
+    ({!index_max_free}), and the maximum over [d] of the minimum
+    available up/down bandwidth along the path [(v..d]]
+    ({!index_max_ext_up}/[_down]).  The aggregates are maintained lazily:
+    {!unchecked_take_slots}, {!unchecked_return_slots} and
+    {!unchecked_add_bw} — i.e. every mutation path of the reservation
+    journals, including rollback — mark ancestors dirty, and reads clean
+    dirty subtrees on first touch.  All three [index_*] reads may
+    therefore mutate internal index state; {!index_flush} makes
+    subsequent reads pure until the next tree mutation. *)
+
+val index_key : t -> int -> int
+(** [(free_slots_subtree t id) lsl bits lor id] — the packed,
+    order-independent (fewest free slots, lowest id) selection key.
+    Unique per node, so comparing keys never ties. *)
+
+val index_key_of : t -> free:int -> id:int -> int
+(** Pack an explicit (free, id) pair with the tree's key layout. *)
+
+val index_key_id : t -> int -> int
+(** Unpack the node id from a packed key. *)
+
+val index_min_key : t -> tlevel:int -> int -> int
+val index_max_free : t -> tlevel:int -> int -> int
+val index_max_ext_up : t -> tlevel:int -> int -> float
+val index_max_ext_down : t -> tlevel:int -> int -> float
+(** Aggregates of internal node [v] over its level-[tlevel] descendants;
+    only defined for [0 <= tlevel < level t v].  Cleans [v]'s dirty
+    subtree on demand. *)
+
+val index_min_feasible_free : t -> tlevel:int -> int -> vms:int -> int
+(** A lower bound on the smallest [free_slots_subtree] value >= [vms]
+    among [v]'s level-[tlevel] descendants, from a per-row bitset of
+    present free values quantized into 63 per-target-level buckets;
+    [max_int] when no descendant can have [vms] free slots.  Exact
+    whenever the bucket width is 1 — i.e. whenever a level-[tlevel]
+    subtree holds at most 62 slots, which covers servers in every
+    realistic spec.  A best-fit descent uses it to skip a subtree whose
+    cheapest feasible candidate cannot beat the incumbent — the prune
+    that keeps the indexed search sublinear once full subtrees dominate
+    at steady state.  Cleans [v]'s dirty subtree on demand. *)
+
+val index_flush : t -> int
+(** Clean every dirty index node; returns the number recomputed.  After a
+    flush, [index_*] reads are pure until the next mutation — required
+    before reading the index from parallel domains. *)
+
+val index_verify : t -> bool
+(** From-scratch oracle: flush, then rebuild every row bottom-up and
+    compare with the incrementally maintained values.  [true] iff they
+    are bit-identical.  Self-healing (the rebuilt values stay). *)
+
+val index_stats : t -> int * int
+(** [(marks, cleans)] — dirty-bit transitions and row recomputations so
+    far.  Diagnostics only: approximate while a shard barrier lets
+    several domains mutate disjoint subtrees concurrently. *)
+
+(** {1 Shard barrier}
+
+    While a barrier is set at level [k], slot bubbling and dirty marking
+    stop at nodes of level > [k], so independent domains may safely
+    mutate disjoint subtrees rooted at distinct level-[k] nodes: no
+    shared ancestor state is written.  Ancestors of the mutated roots go
+    stale and must be repaired with {!unchecked_settle_above} after the
+    barrier is cleared. *)
+
+val set_shard_barrier : t -> level:int -> unit
+(** @raise Invalid_argument unless [1 <= level <= n_levels t - 2]. *)
+
+val clear_shard_barrier : t -> unit
+val shard_barrier : t -> int
+(** The active barrier level, or [-1]. *)
+
+val unchecked_settle_above : t -> node:int -> taken:int -> unit
+(** Subtract [taken] slots from [free_slots_subtree] of every strict
+    ancestor of [node] and mark them all dirty (no early exit — they may
+    be stale-while-clean after a barrier phase).  Call with the barrier
+    cleared, once per formerly-barriered subtree root, even when [taken]
+    is [0]: bandwidth inside the subtree changed regardless. *)

@@ -8,6 +8,9 @@ optionally a Chrome trace file (``--trace-out``) and prints:
 
   * top spans by total recorded time, with their GC attribution
     (minor/promoted words allocated, major collections) per call;
+  * the final value of every gauge, grouped by dotted prefix (the
+    bench sections export their headline numbers this way, e.g.
+    ``bench.placement_scale.*``);
   * the final value of every per-epoch series, with ring occupancy;
   * a per-track summary of the trace: span counts, nesting depth,
     drops.
@@ -70,6 +73,28 @@ def report_spans(doc):
     print()
 
 
+def report_gauges(doc):
+    """Final gauge values, grouped by dotted prefix.
+
+    The bench sections export their headline numbers as gauges
+    (``bench.placement_scale.indexed_dps.131072``, ...), so this is the
+    quickest way to read a sweep's results back out of a metrics
+    document without re-running anything.
+    """
+    gauges = doc.get("gauges", {})
+    if not gauges:
+        return
+    groups = {}
+    for name, v in gauges.items():
+        prefix = name.rsplit(".", 1)[0] if "." in name else name
+        groups.setdefault(prefix, []).append((name, v))
+    print("gauges (final values):")
+    for prefix in sorted(groups):
+        for name, v in sorted(groups[prefix]):
+            print(f"  {name:<52} {fmt_num(v):>12}")
+    print()
+
+
 def report_series(doc):
     series = doc.get("series", {})
     if not series:
@@ -129,6 +154,7 @@ def main():
     print(f"{sys.argv[1]}: {schema}")
     print()
     report_spans(doc)
+    report_gauges(doc)
     report_series(doc)
     if len(sys.argv) == 3:
         report_trace(sys.argv[2])

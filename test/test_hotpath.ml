@@ -118,9 +118,9 @@ let locs_string (locs : Types.locations) =
 (* Seeded arrival/departure mix on a 32-server tree.  Returns the
    scheduler, tree, live placements, and a trace string encoding every
    accept (with server locations), reject (with reason), and departure. *)
-let run_workload () =
+let run_workload ?engine () =
   let tree = Tree.create diff_spec in
-  let sched = Cm.create tree in
+  let sched = Cm.create ?engine tree in
   let rng = Rng.create 42 in
   let live = ref [] in
   let next_id = ref 0 in
@@ -216,6 +216,27 @@ let test_differential_replay_identical () =
   let _, _, _, t2 = run_workload () in
   Alcotest.(check string)
     "same decisions and server locations on a from-scratch replay" t1 t2
+
+(* ISSUE 8 differential harness: the same seeded arrival/departure mix —
+   including every rollback-and-retry inside [Cm.place] — must take
+   identical decisions under the linear scan, the availability index,
+   and the [Checked] engine (which additionally asserts scan == indexed
+   on every single [find_lowest] query as it runs). *)
+let test_engines_identical () =
+  let trace engine =
+    let sched, tree, live, trace = run_workload ~engine () in
+    List.iter (fun (_, p) -> Cm.release sched p) live;
+    Alcotest.(check bool)
+      (Cm_placement.Subtree.engine_name engine ^ ": index verifies")
+      true
+      (Tree.index_verify tree);
+    trace
+  in
+  let scan = trace Cm_placement.Subtree.Scan in
+  let indexed = trace Cm_placement.Subtree.Indexed in
+  let checked = trace Cm_placement.Subtree.Checked in
+  Alcotest.(check string) "indexed trace == scan trace" scan indexed;
+  Alcotest.(check string) "checked trace == scan trace" scan checked
 
 (* {1 Journal rollback: nested checkpoints, aborted partial placements} *)
 
@@ -324,6 +345,8 @@ let () =
             test_differential_oracle;
           Alcotest.test_case "from-scratch replay identical" `Quick
             test_differential_replay_identical;
+          Alcotest.test_case "scan/indexed/checked engines identical" `Quick
+            test_engines_identical;
         ] );
       ( "journal",
         [

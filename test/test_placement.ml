@@ -572,7 +572,7 @@ let test_hetero_all_schedulers () =
             (Tree.free_slots_subtree tree (Tree.root tree)))
     [
       ("cm", fun t -> Cm_sim.Driver.cm t);
-      ("ovoc", Cm_sim.Driver.oktopus);
+      ("ovoc", fun t -> Cm_sim.Driver.oktopus t);
       ("secondnet", Cm_sim.Driver.secondnet);
     ]
 
