@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test ci bench bench-fast bench-placement bench-placement-scale bench-enforce bench-inference bench-failures examples doc clean
+.PHONY: all build test ci bench bench-fast bench-placement bench-placement-scale bench-enforce bench-enforce-scale bench-inference bench-failures examples doc clean
 
 all: build
 
@@ -26,6 +26,7 @@ ci:
 	scripts/ci-bench-smoke.sh placement --fast --jobs 1
 	scripts/ci-bench-smoke.sh placement-scale --fast --arrivals 200 --jobs 2
 	scripts/ci-bench-smoke.sh enforce --jobs 1
+	scripts/ci-bench-smoke.sh enforce-scale --fast --jobs 2
 	scripts/ci-bench-smoke.sh inference --jobs 1
 	scripts/ci-bench-smoke.sh sim-failures --fast --arrivals 400 --jobs 1
 	scripts/ci-bench-smoke.sh enforce-failures --jobs 1
@@ -60,6 +61,14 @@ bench-placement-scale:
 # compare against the committed BENCH_pr4.json baseline.
 bench-enforce:
 	dune exec bench/main.exe -- $(JOBS_FLAG) enforce --metrics-out BENCH_enforce.json
+
+# Million-flow steady-state enforcement sweep (10k -> 1M flows under
+# churn): persistent incremental max-min vs the from-scratch oracle,
+# with bitwise oracle equality and jobs-invariance enforced in-process;
+# writes a metrics document to compare against the committed
+# BENCH_pr9.json baseline.
+bench-enforce-scale:
+	dune exec bench/main.exe -- $(JOBS_FLAG) enforce-scale --metrics-out BENCH_enforce_scale.json
 
 # Inference hot-path benchmark only (dense vs CSR clustering pipeline
 # race with a label-digest equality gate); writes a metrics document to

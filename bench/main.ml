@@ -32,7 +32,14 @@ let trace_out : string option ref = ref None
 
 let known_sections =
   E.section_names
-  @ [ "placement"; "placement-scale"; "enforce"; "inference"; "runtime" ]
+  @ [
+      "placement";
+      "placement-scale";
+      "enforce";
+      "enforce-scale";
+      "inference";
+      "runtime";
+    ]
 
 let usage oc =
   Printf.fprintf oc
@@ -515,6 +522,205 @@ let enforce_bench () =
     [ "max |rate diff| (Mbps)"; Printf.sprintf "%.3g" max_diff ];
   Table.print t
 
+(* Million-flow steady-state enforcement: the persistent incremental
+   max-min solver (Maxmin.Inc) races the from-scratch oracle
+   (Maxmin.with_guarantees) across a seeded churn trace over a pod-local
+   flow population.  Each pod is an independent sharing component (4
+   links, 2-link paths), so a churn delta touching d% of the pods dirties
+   ~d% of the components and the incremental re-converge cost scales
+   with the delta, not the population.  Every epoch the incremental
+   rates are compared bitwise against the oracle, and a second solver
+   replays the same trace at 1 domain to pin jobs invariance; the bench
+   fails loudly on either divergence.  Results are exported as
+   [bench.enforce_scale.*] gauges (see BENCH_pr9.json). *)
+let g_es_flows_max = Metrics.gauge "bench.enforce_scale.flows_max"
+let g_es_speedup_top = Metrics.gauge "bench.enforce_scale.speedup_top"
+let g_es_oracle_match = Metrics.gauge "bench.enforce_scale.oracle_match"
+let g_es_jobs_invariant = Metrics.gauge "bench.enforce_scale.jobs_invariant"
+
+let enforce_scale_bench () =
+  let module Maxmin = Cm_enforce.Maxmin in
+  let p = !params in
+  let fast = p.arrivals < 10_000 in
+  let sizes =
+    if fast then [ 10_240; 40_960 ] else [ 10_240; 102_400; 1_024_000 ]
+  in
+  let churn_epochs = if fast then 4 else 6 in
+  let flows_per_pod = 40 and links_per_pod = 4 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let bits = Int64.bits_of_float in
+  let t =
+    Table.create
+      ~caption:
+        (Printf.sprintf
+           "Steady-state enforcement at scale: incremental max-min \
+            (Maxmin.Inc) vs from-scratch oracle across %d churn epochs \
+            (1%%/10%% of pods per epoch, %d flows per pod, seed %d, jobs %d)"
+           churn_epochs flows_per_pod p.seed (Par.default_domains ()))
+      [
+        ("flows", Table.Right);
+        ("pods", Table.Right);
+        ("cold/epoch", Table.Right);
+        ("inc/epoch", Table.Right);
+        ("speedup", Table.Right);
+        ("resolved", Table.Right);
+        ("oracle", Table.Right);
+      ]
+  in
+  let oracle_match = ref true and jobs_invariant = ref true in
+  let speedup_top = ref 0. and flows_max = ref 0 in
+  List.iter
+    (fun n_flows ->
+      let n_pods = n_flows / flows_per_pod in
+      let n_links = n_pods * links_per_pod in
+      let links =
+        List.init n_links (fun id -> { Maxmin.link_id = id; capacity = 10_000. })
+      in
+      (* Demands are the churned state; paths and guarantees are a pure
+         function of the flow id (guarantees sum to at most 3000 Mbps on
+         any link, always feasible). *)
+      let fresh_demand k = function
+        | true -> infinity
+        | false -> 150. +. (float_of_int (k mod 7) *. 10.)
+      in
+      let demands =
+        Array.init n_flows (fun id -> fresh_demand id (id mod 3 <> 0))
+      in
+      let present = Array.make n_flows true in
+      let mk_flow id =
+        let pod = id / flows_per_pod and k = id mod flows_per_pod in
+        let base = pod * links_per_pod in
+        {
+          Maxmin.flow_id = id;
+          path =
+            [ base + (k mod links_per_pod); base + ((k + 1) mod links_per_pod) ];
+          demand = demands.(id);
+          guarantee = 50. +. (float_of_int (k mod 5) *. 25.);
+        }
+      in
+      let inc = Maxmin.Inc.create ~links in
+      let inc1 = Maxmin.Inc.create ~links in
+      let apply id =
+        if present.(id) then begin
+          Maxmin.Inc.set inc (mk_flow id);
+          Maxmin.Inc.set inc1 (mk_flow id)
+        end
+        else begin
+          Maxmin.Inc.remove inc id;
+          Maxmin.Inc.remove inc1 id
+        end
+      in
+      for id = 0 to n_flows - 1 do
+        apply id
+      done;
+      (* Initial population: both engines start cold, outside the timed
+         churn epochs. *)
+      Maxmin.Inc.solve ~domains:(Par.default_domains ()) inc;
+      Maxmin.Inc.solve ~domains:1 inc1;
+      let rng = Random.State.make [| p.seed; n_flows |] in
+      let churn_pods frac =
+        let n_touch = max 1 (int_of_float (frac *. float_of_int n_pods)) in
+        for _ = 1 to n_touch do
+          let pod = Random.State.int rng n_pods in
+          for k = 0 to flows_per_pod - 1 do
+            let id = (pod * flows_per_pod) + k in
+            let r = Random.State.float rng 1.0 in
+            if present.(id) && r < 0.15 then present.(id) <- false
+            else if (not present.(id)) && r < 0.5 then begin
+              present.(id) <- true;
+              demands.(id) <- fresh_demand k (Random.State.bool rng)
+            end
+            else if present.(id) && r < 0.6 then
+              demands.(id) <- fresh_demand k (Random.State.bool rng)
+            else if not present.(id) then ()
+            else ();
+            apply id
+          done
+        done
+      in
+      let cold_total = ref 0. and inc_total = ref 0. in
+      let resolved_frac = ref 0. in
+      for epoch = 1 to churn_epochs do
+        churn_pods (if epoch mod 2 = 1 then 0.01 else 0.10);
+        let inc_wall, () =
+          time (fun () ->
+              Maxmin.Inc.solve ~domains:(Par.default_domains ()) inc)
+        in
+        Maxmin.Inc.solve ~domains:1 inc1;
+        let stats = Maxmin.Inc.last_stats inc in
+        resolved_frac :=
+          !resolved_frac
+          +. float_of_int stats.Maxmin.Inc.flows_resolved
+             /. float_of_int (max 1 stats.Maxmin.Inc.flows_total);
+        let flows =
+          List.filteri (fun id _ -> present.(id)) (List.init n_flows mk_flow)
+        in
+        let cold_wall, oracle =
+          time (fun () -> Maxmin.with_guarantees ~links ~flows)
+        in
+        cold_total := !cold_total +. cold_wall;
+        inc_total := !inc_total +. inc_wall;
+        Array.iter
+          (fun (id, rate) ->
+            if bits (Maxmin.Inc.rate inc id) <> bits rate then begin
+              oracle_match := false;
+              Printf.printf
+                "!! oracle mismatch at %d flows, epoch %d, flow %d: inc \
+                 %.17g oracle %.17g\n"
+                n_flows epoch id
+                (Maxmin.Inc.rate inc id)
+                rate
+            end;
+            if bits (Maxmin.Inc.rate inc1 id) <> bits rate then
+              jobs_invariant := false)
+          oracle
+      done;
+      let cold_us = 1e6 *. !cold_total /. float_of_int churn_epochs in
+      let inc_us = 1e6 *. !inc_total /. float_of_int churn_epochs in
+      let speedup = cold_us /. inc_us in
+      let resolved = !resolved_frac /. float_of_int churn_epochs in
+      let gauge fmt v =
+        Metrics.set
+          (Metrics.gauge (Printf.sprintf "bench.enforce_scale.%s.%d" fmt n_flows))
+          v
+      in
+      gauge "cold_us" cold_us;
+      gauge "inc_us" inc_us;
+      gauge "speedup" speedup;
+      gauge "resolved_frac" resolved;
+      if Cm_obs.Series.enabled () then begin
+        let x = float_of_int n_flows in
+        Cm_obs.Series.sample_named "enforce_scale.speedup" ~x speedup;
+        Cm_obs.Series.sample_named "enforce_scale.inc_us" ~x inc_us;
+        Cm_obs.Series.sample_named "enforce_scale.cold_us" ~x cold_us
+      end;
+      speedup_top := speedup;
+      flows_max := n_flows;
+      Table.add_row t
+        [
+          string_of_int n_flows;
+          string_of_int n_pods;
+          Printf.sprintf "%.0f us" cold_us;
+          Printf.sprintf "%.0f us" inc_us;
+          Printf.sprintf "%.1fx" speedup;
+          Printf.sprintf "%.1f%%" (100. *. resolved);
+          (if !oracle_match then "yes" else "NO");
+        ])
+    sizes;
+  Metrics.set g_es_flows_max (float_of_int !flows_max);
+  Metrics.set g_es_speedup_top !speedup_top;
+  Metrics.set g_es_oracle_match (if !oracle_match then 1. else 0.);
+  Metrics.set g_es_jobs_invariant (if !jobs_invariant then 1. else 0.);
+  Table.print t;
+  if not !oracle_match then
+    failwith "enforce-scale: incremental solver diverged from the oracle";
+  if not !jobs_invariant then
+    failwith "enforce-scale: incremental solve is not jobs-invariant"
+
 (* TAG-inference hot-path benchmark: an 8-tier pipeline tenant at
    n ∈ {128, 512, 1024} VMs, traffic generated sparsely, then the
    sparse clustering pipeline (mean_csr -> projection_csr ->
@@ -770,6 +976,8 @@ let () =
   section "placement-scale" (fun () ->
       Span.with_ "section.placement_scale" placement_scale_bench);
   section "enforce" (fun () -> Span.with_ "section.enforce" enforce_bench);
+  section "enforce-scale" (fun () ->
+      Span.with_ "section.enforce_scale" enforce_scale_bench);
   section "inference" (fun () ->
       Span.with_ "section.inference" inference_bench);
   section "runtime" (fun () -> Span.with_ "section.runtime" runtime_bechamel);

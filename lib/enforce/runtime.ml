@@ -2,6 +2,12 @@ type config = { probe_gain : float; decay : float; headroom : float }
 
 let default_config = { probe_gain = 0.1; decay = 0.1; headroom = 0. }
 
+(* Steady-state solver engine (the PR 8 idiom): [Incremental] diffs
+   consecutive epochs' flow sets into a persistent Maxmin.Inc solver,
+   [Cold] rebuilds the whole universe per epoch (the PR 4 behaviour),
+   [Checked] runs both and fails on any bitwise rate divergence. *)
+type engine = Incremental | Cold | Checked
+
 (* Control-loop telemetry: guarantee-partitioning recomputations (one
    per epoch), per-pair rate-limiter updates, and the dynamic driver's
    convergence behaviour. *)
@@ -9,6 +15,9 @@ let m_gp_updates = Cm_obs.Metrics.counter "enforce.gp.updates"
 let m_ra_updates = Cm_obs.Metrics.counter "enforce.ra.updates"
 let m_epochs = Cm_obs.Metrics.counter "enforce.epochs"
 let m_epochs_converged = Cm_obs.Metrics.counter "enforce.epochs.converged"
+let m_inc_solves = Cm_obs.Metrics.counter "enforce.inc.solves"
+let m_inc_resolved = Cm_obs.Metrics.counter "enforce.inc.flows_resolved"
+let m_inc_components = Cm_obs.Metrics.counter "enforce.inc.components"
 
 let h_converge_periods =
   Cm_obs.Metrics.histogram
@@ -36,6 +45,7 @@ type limiter = { mutable l_rate : float; mutable l_period : int }
 
 type t = {
   cfg : config;
+  engine : engine;
   tag : Cm_tag.Tag.t;
   enforcement : Elastic.enforcement;
   (* Dense link table: [link_ids.(i)] is the external id of link index
@@ -47,26 +57,48 @@ type t = {
   loads : float array;
   limits : (Elastic.active_pair, limiter) Hashtbl.t;
   mutable period : int;  (* total control periods ever run *)
+  (* Persistent steady-state solver (Incremental/Checked engines): the
+     fluid fixed point lives on the effective capacities.  A pair keeps
+     one stable solver flow id for as long as it stays active, so
+     consecutive epochs diff into the solver instead of resolving
+     cold. *)
+  solver : Maxmin.Inc.t;
+  solver_ids : (Elastic.active_pair, int) Hashtbl.t;
+  solver_flows : (int, Maxmin.flow) Hashtbl.t;
+  mutable next_flow_id : int;
 }
 
-let create ?(config = default_config) ~tag ~enforcement ~links () =
+let create ?(config = default_config) ?(engine = Incremental) ~tag ~enforcement
+    ~links () =
   let links = Array.of_list links in
   let n = Array.length links in
   let link_ids = Array.map (fun (l : Maxmin.link) -> l.link_id) links in
   let caps = Array.map (fun (l : Maxmin.link) -> l.capacity) links in
   let link_index = Hashtbl.create (2 * n) in
   Array.iteri (fun i id -> Hashtbl.replace link_index id i) link_ids;
+  let eff_caps = Array.map (fun c -> c *. (1. -. config.headroom)) caps in
+  let eff_links =
+    Array.to_list
+      (Array.mapi
+         (fun i id -> { Maxmin.link_id = id; capacity = eff_caps.(i) })
+         link_ids)
+  in
   {
     cfg = config;
+    engine;
     tag;
     enforcement;
     link_ids;
     link_index;
     caps;
-    eff_caps = Array.map (fun c -> c *. (1. -. config.headroom)) caps;
+    eff_caps;
     loads = Array.make n 0.;
     limits = Hashtbl.create 32;
     period = 0;
+    solver = Maxmin.Inc.create ~links:eff_links;
+    solver_ids = Hashtbl.create 64;
+    solver_flows = Hashtbl.create 64;
+    next_flow_id = 0;
   }
 
 let link_index_of t l =
@@ -104,8 +136,13 @@ let prune_limits t =
     (fun _pair lim -> if decayed t lim < 1e-6 then None else Some lim)
     t.limits
 
+(* One compile = one epoch, whether driven by [step], [run] or
+   [run_dynamic] — the single counting site keeps [enforce.epochs] in
+   lockstep with [enforce.gp.updates] (pre-PR only [run_dynamic]
+   counted, so the two drifted apart under [step]/[run] traffic). *)
 let compile t ~flows =
   Cm_obs.Metrics.incr m_gp_updates;
+  Cm_obs.Metrics.incr m_epochs;
   prune_limits t;
   let specs = Array.of_list flows in
   let n = Array.length specs in
@@ -245,13 +282,14 @@ type report = {
    first, then work-conserving max-min over the effective capacities
    (paper §5.2; the loop's multiplicative decay protects exactly the GP
    guarantee, the additive probe grabs the max-min share of the rest). *)
-let steady_state t es =
-  let links =
-    Array.to_list
-      (Array.mapi
-         (fun i id -> { Maxmin.link_id = id; capacity = t.eff_caps.(i) })
-         t.link_ids)
-  in
+
+let eff_links t =
+  Array.to_list
+    (Array.mapi
+       (fun i id -> { Maxmin.link_id = id; capacity = t.eff_caps.(i) })
+       t.link_ids)
+
+let steady_state_cold t es =
   let flows =
     List.init es.n (fun i ->
         {
@@ -261,9 +299,105 @@ let steady_state t es =
           guarantee = es.guarantee.(i);
         })
   in
-  let granted = Maxmin.with_guarantees ~links ~flows in
+  let granted = Maxmin.with_guarantees ~links:(eff_links t) ~flows in
   Array.to_list
     (Array.mapi (fun i f -> (f.pair, snd granted.(i))) es.specs)
+
+(* Incremental steady state: diff this epoch's flow set into the
+   persistent solver.  Each pair keeps a stable solver id across
+   epochs, so an unchanged flow costs one lookup and zero solver work;
+   arrivals, departures and GP-guarantee changes dirty exactly the
+   links on their paths, and [Inc.solve] re-converges only the sharing
+   components that frontier reaches. *)
+let steady_state_inc t es =
+  (* Stable ids for this epoch's pairs, in epoch order. *)
+  let flow_ids = Array.make es.n 0 in
+  for i = 0 to es.n - 1 do
+    let pair = es.specs.(i).pair in
+    let id =
+      match Hashtbl.find_opt t.solver_ids pair with
+      | Some id -> id
+      | None ->
+          let id = t.next_flow_id in
+          t.next_flow_id <- id + 1;
+          Hashtbl.replace t.solver_ids pair id;
+          id
+    in
+    flow_ids.(i) <- id;
+    let f =
+      {
+        Maxmin.flow_id = id;
+        path = es.specs.(i).path;
+        demand = es.demand.(i);
+        guarantee = es.guarantee.(i);
+      }
+    in
+    match Hashtbl.find_opt t.solver_flows id with
+    | Some prev when prev = f -> ()
+    | Some _ | None ->
+        Maxmin.Inc.set t.solver f;
+        Hashtbl.replace t.solver_flows id f
+  done;
+  (* Departures: pairs the solver still holds but this epoch lacks. *)
+  if Hashtbl.length t.solver_ids > es.n then begin
+    let present = Hashtbl.create (2 * es.n) in
+    Array.iteri (fun i _ -> Hashtbl.replace present flow_ids.(i) ()) flow_ids;
+    let departed = ref [] in
+    Hashtbl.iter
+      (fun pair id ->
+        if not (Hashtbl.mem present id) then departed := (pair, id) :: !departed)
+      t.solver_ids;
+    List.iter
+      (fun (pair, id) ->
+        Maxmin.Inc.remove t.solver id;
+        Hashtbl.remove t.solver_ids pair;
+        Hashtbl.remove t.solver_flows id)
+      !departed
+  end;
+  Maxmin.Inc.solve t.solver;
+  let st = Maxmin.Inc.last_stats t.solver in
+  Cm_obs.Metrics.incr m_inc_solves;
+  Cm_obs.Metrics.incr ~by:st.flows_resolved m_inc_resolved;
+  Cm_obs.Metrics.incr ~by:st.components m_inc_components;
+  Array.to_list
+    (Array.mapi
+       (fun i f -> (f.pair, Maxmin.Inc.rate t.solver flow_ids.(i)))
+       es.specs)
+
+(* [Checked]: the incremental fixed point must be bitwise identical to
+   a from-scratch [with_guarantees] over the same stable flow ids (the
+   ids pin the canonical per-component solve order, so any difference
+   is a dirty-frontier bug, not float noise). *)
+let steady_state_checked t es =
+  let inc = steady_state_inc t es in
+  let flows =
+    List.init es.n (fun i ->
+        {
+          Maxmin.flow_id =
+            Hashtbl.find t.solver_ids es.specs.(i).pair;
+          path = es.specs.(i).path;
+          demand = es.demand.(i);
+          guarantee = es.guarantee.(i);
+        })
+  in
+  let oracle = Maxmin.with_guarantees ~links:(eff_links t) ~flows in
+  List.iteri
+    (fun i (_, r) ->
+      let o = snd oracle.(i) in
+      if r <> o then
+        failwith
+          (Printf.sprintf
+             "Runtime.steady_state: incremental solver diverged from the \
+              Maxmin oracle (flow %d: incremental %.17g, oracle %.17g)"
+             (fst oracle.(i)) r o))
+    inc;
+  inc
+
+let steady_state t es =
+  match t.engine with
+  | Cold -> steady_state_cold t es
+  | Incremental -> steady_state_inc t es
+  | Checked -> steady_state_checked t es
 
 (* Convergence detection.  The AIMD transient has two regimes a naive
    per-period test confuses: the saw-tooth (large per-period deltas that
@@ -291,12 +425,13 @@ let run_dynamic ?(eps = 0.02) ?(max_periods = 512) t ~epochs =
     List.mapi
       (fun e flows ->
         Cm_obs.Span.with_span s_epoch @@ fun () ->
-        Cm_obs.Metrics.incr m_epochs;
         let es = compile t ~flows in
         let periods = ref 0 in
         let stable = ref 0 in
         let static = ref 0 in
         let residual = ref infinity in
+        let had_window = ref false in
+        let last_raw = ref nan in
         if es.n > 0 then begin
           let prev = Array.make es.n 0. in
           let snapshot = Array.make es.n 0. in
@@ -322,8 +457,10 @@ let run_dynamic ?(eps = 0.02) ?(max_periods = 512) t ~epochs =
               es.smooth.(i) <- es.smooth.(i) +. (ewma_alpha *. (r -. es.smooth.(i)))
             done;
             Cm_obs.Metrics.observe h_rate_delta !raw_delta;
+            last_raw := !raw_delta;
             if !raw_delta = 0. then incr static else static := 0;
             if !periods mod window = 0 then begin
+              had_window := true;
               let drift = ref 0. and scale = ref 1. in
               for i = 0 to es.n - 1 do
                 let s = es.smooth.(i) in
@@ -352,7 +489,12 @@ let run_dynamic ?(eps = 0.02) ?(max_periods = 512) t ~epochs =
           n_flows = es.n;
           periods = !periods;
           converged;
-          residual = (if !residual = infinity then 0. else !residual);
+          (* An epoch that never completed a drift window used to report
+             residual 0 — indistinguishable from perfect convergence.
+             Report the windowed relative drift when a window completed,
+             else the last raw per-period delta (Mbps), else nan (empty
+             epoch, or a single period with nothing to diff). *)
+          residual = (if !had_window then !residual else !last_raw);
           steady = steady_state t es;
         })
       epochs

@@ -27,7 +27,13 @@
 
     {b Steady state.}  The AIMD loop saw-tooths around the static
     allocation of {!Maxmin.with_guarantees} over the epoch's GP
-    guarantees and effective (headroom-discounted) capacities.
+    guarantees and effective (headroom-discounted) capacities.  Under
+    the default {!Incremental} engine that fixed point is maintained by
+    a persistent {!Maxmin.Inc} solver: each active pair keeps a stable
+    solver flow id across epochs, consecutive epochs are diffed into
+    the solver, and only the sharing components touched by the delta
+    are re-converged — bitwise identical to a from-scratch solve (see
+    {!engine}).
     {!run_dynamic} detects when the transient has damped — the maximum
     per-flow movement of EWMA-smoothed throughput over a whole
     measurement window stays below [eps] (relative) for consecutive
@@ -52,6 +58,15 @@ type config = {
 
 val default_config : config
 
+(** Steady-state solver engine (the same idiom as the placement
+    [Scan]/[Indexed]/[Checked] switch): [Incremental] (default) diffs
+    epochs into a persistent {!Maxmin.Inc} solver; [Cold] rebuilds and
+    resolves the whole flow universe per epoch; [Checked] runs the
+    incremental path {e and} the from-scratch {!Maxmin.with_guarantees}
+    oracle over the same stable flow ids and raises [Failure] on any
+    bitwise rate divergence. *)
+type engine = Incremental | Cold | Checked
+
 type flow_spec = {
   pair : Elastic.active_pair;
   path : int list;  (** Link ids (see {!Maxmin.link}). *)
@@ -62,12 +77,15 @@ type t
 
 val create :
   ?config:config ->
+  ?engine:engine ->
   tag:Cm_tag.Tag.t ->
   enforcement:Elastic.enforcement ->
   links:Maxmin.link list ->
   unit ->
   t
-(** A runtime bound to one tenant's TAG and a set of links. *)
+(** A runtime bound to one tenant's TAG and a set of links.  [engine]
+    selects the steady-state solver strategy (default
+    {!Incremental}). *)
 
 val step : t -> flows:flow_spec list -> (Elastic.active_pair * float) list
 (** Run one control period with the given active flows and return each
@@ -94,8 +112,12 @@ type epoch_report = {
       (** Whether the transient damped below [eps] before
           [max_periods]. *)
   residual : float;
-      (** Relative max EWMA rate delta at the epoch's last period (0 for
-          an empty epoch). *)
+      (** Convergence measurement at the epoch's end: the relative max
+          EWMA drift over the last completed 8-period window when at
+          least one window completed; otherwise the last raw per-period
+          max rate delta in Mbps (a too-short epoch is thereby
+          distinguishable from a converged one); [nan] when there was
+          nothing to measure (empty epoch, or a single period). *)
   steady : (Elastic.active_pair * float) list;
       (** The epoch's steady-state allocation: {!Maxmin.with_guarantees}
           over the epoch's GP guarantees and effective capacities, in
@@ -133,7 +155,11 @@ val run_dynamic :
     [enforce.epochs.converged] counters, an [enforce.converge_periods]
     histogram (periods to convergence per epoch) and an
     [enforce.rate_delta] histogram (per-period max throughput delta in
-    Mbps).
+    Mbps).  [enforce.epochs] counts every compiled epoch — one per
+    {!step} call, one per {!run} call, one per [run_dynamic] epoch — so
+    it always equals [enforce.gp.updates].  The incremental solver adds
+    [enforce.inc.solves] / [enforce.inc.flows_resolved] /
+    [enforce.inc.components].
 
     The steady-state oracle requires the epoch's GP guarantees to be
     feasible on the effective link capacities (the enforcement setting

@@ -1,0 +1,46 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 8) () =
+  { data = Array.make (max 1 capacity) 0; len = 0 }
+
+let length v = v.len
+
+let check v i =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Vec: index %d out of bounds (length %d)" i v.len)
+
+let get v i =
+  check v i;
+  Array.unsafe_get v.data i
+
+let set v i x =
+  check v i;
+  Array.unsafe_set v.data i x
+
+let push v x =
+  if v.len = Array.length v.data then begin
+    let data = Array.make (2 * v.len) 0 in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end;
+  Array.unsafe_set v.data v.len x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  Array.unsafe_get v.data v.len
+
+let swap_remove v i =
+  check v i;
+  v.len <- v.len - 1;
+  if i < v.len then Array.unsafe_set v.data i (Array.unsafe_get v.data v.len)
+
+let clear v = v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let to_array v = Array.sub v.data 0 v.len

@@ -1,0 +1,41 @@
+(** Growable [int array]s: the building block for CSR-style adjacency
+    that must absorb online insertions and removals (the incremental
+    max-min solver's link->flow incidence lists, dirty queues, and path
+    buffers).  Amortised O(1) push, O(1) swap-remove, dense storage —
+    no per-element boxing, no list cells. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty vector.  [capacity] pre-sizes the backing array
+    (default 8; values below 1 are clamped). *)
+
+val length : t -> int
+
+val get : t -> int -> int
+(** [get v i] is element [i].  Bounds-checked against {!length}. *)
+
+val set : t -> int -> int -> unit
+(** [set v i x] overwrites element [i].  Bounds-checked. *)
+
+val push : t -> int -> unit
+(** Append, growing the backing array by doubling when full. *)
+
+val pop : t -> int
+(** Remove and return the last element.  @raise Invalid_argument when
+    empty. *)
+
+val swap_remove : t -> int -> unit
+(** [swap_remove v i] removes element [i] in O(1) by moving the last
+    element into its place (no-op move when [i] is last).  The caller
+    is responsible for fixing any external index that tracked the moved
+    element — read [get v (length v - 1)] before calling. *)
+
+val clear : t -> unit
+(** Logical reset to length 0; capacity is retained. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Left-to-right iteration over the live prefix. *)
+
+val to_array : t -> int array
+(** Copy of the live prefix. *)

@@ -62,6 +62,24 @@ let test_maxmin_unknown_link_rejected () =
         ignore (Maxmin.max_min ~links:[ link 0 1. ] ~flows:[ flow 0 [ 7 ] 1. ])
       with Invalid_argument _ -> raise (Invalid_argument ""))
 
+let test_maxmin_duplicate_link_rejected () =
+  (* A repeated link id in one path used to be accepted silently,
+     double-counting the flow on that link's active counter and
+     double-charging its remaining capacity.  All three entry points
+     must reject it like an unknown link. *)
+  let links = [ link 0 10.; link 1 10. ] in
+  let dup = flow 0 [ 0; 1; 0 ] 1. in
+  let reject name f =
+    Alcotest.check_raises name (Invalid_argument "") (fun () ->
+        try f () with Invalid_argument _ -> raise (Invalid_argument ""))
+  in
+  reject "max_min" (fun () -> ignore (Maxmin.max_min ~links ~flows:[ dup ]));
+  reject "with_guarantees" (fun () ->
+      ignore (Maxmin.with_guarantees ~links ~flows:[ dup ]));
+  reject "Inc.set" (fun () ->
+      let t = Maxmin.Inc.create ~links in
+      Maxmin.Inc.set t dup)
+
 (* {1 Guarantee-aware allocation} *)
 
 let test_guarantees_protect () =
@@ -622,6 +640,31 @@ let test_run_dynamic_telemetry () =
     (before_conv + conv)
     (Cm_obs.Metrics.counter_value conv_c)
 
+let test_run_dynamic_truncated_residual () =
+  (* Satellite bugfix: an epoch cut off before its first 8-period drift
+     window used to report residual = 0., indistinguishable from perfect
+     convergence.  It now reports the last raw per-period delta (Mbps):
+     finite and positive while the AIMD transient is still moving. *)
+  let rt = fig13_runtime () in
+  let r = Runtime.run_dynamic ~max_periods:4 rt ~epochs:[ fig13_flows 5 ] in
+  let e = List.hd r.epochs in
+  Alcotest.(check bool) "truncated epoch not converged" false e.converged;
+  Alcotest.(check int) "cut at max_periods" 4 e.periods;
+  Alcotest.(check bool)
+    (Printf.sprintf "residual %.3f is a positive raw delta" e.residual)
+    true
+    (Float.is_finite e.residual && e.residual > 0.)
+
+let test_run_dynamic_single_period_residual_nan () =
+  (* One period leaves nothing to diff: residual is nan, not a
+     fake-converged 0. *)
+  let rt = fig13_runtime () in
+  let r = Runtime.run_dynamic ~max_periods:1 rt ~epochs:[ fig13_flows 3 ] in
+  let e = List.hd r.epochs in
+  Alcotest.(check bool) "nothing to measure -> nan" true
+    (Float.is_nan e.residual);
+  Alcotest.(check bool) "not converged" false e.converged
+
 let test_run_dynamic_validates_args () =
   let rt = fig13_runtime () in
   Alcotest.check_raises "eps" (Invalid_argument "") (fun () ->
@@ -649,6 +692,150 @@ let test_churn_hose_fails () =
        (100. *. r.guarantee_met) r.x_min)
     true
     (r.guarantee_met < 1. && r.x_min < 450.)
+
+let test_churn_engines_agree () =
+  (* The Incremental engine (and its Checked differential mode, which
+     re-verifies every epoch against the from-scratch oracle) must
+     reproduce the Cold engine's churn results exactly — churn_result
+     is all floats derived from steady-state rates, so structural
+     equality is bitwise rate equality. *)
+  List.iter
+    (fun enf ->
+      let run engine = Scenario.churn ~engine ~seed:11 ~epochs:15 enf in
+      let inc = run Runtime.Incremental in
+      let cold = run Runtime.Cold in
+      let checked = run Runtime.Checked in
+      Alcotest.(check bool) "incremental = cold" true (inc = cold);
+      Alcotest.(check bool) "checked = cold" true (checked = cold))
+    [ Elastic.Tag_gp; Elastic.Hose_gp ]
+
+(* {1 Incremental solver (Maxmin.Inc)} *)
+
+let inc_links = List.init 6 (fun i -> link i 100.)
+
+let random_path rng =
+  (* 0-3 distinct links out of the 6-link universe (partial
+     Fisher-Yates), so paths share links and components merge and
+     split as flows churn. *)
+  let n = Random.State.int rng 4 in
+  let all = [| 0; 1; 2; 3; 4; 5 |] in
+  for i = 0 to n - 1 do
+    let j = i + Random.State.int rng (6 - i) in
+    let t = all.(i) in
+    all.(i) <- all.(j);
+    all.(j) <- t
+  done;
+  Array.to_list (Array.sub all 0 n)
+
+let random_flow rng id =
+  let demand =
+    if Random.State.bool rng then infinity else Random.State.float rng 120.
+  in
+  (* Max 12 flows x guarantee < 8 keeps every link's guarantee sum
+     under its 100 Mbps capacity: always feasible. *)
+  let guarantee = Random.State.float rng 8. in
+  { Maxmin.flow_id = id; path = random_path rng; demand; guarantee }
+
+let prop_inc_matches_cold_oracle =
+  (* Tentpole acceptance: over seeded churn traces of arrivals,
+     departures, demand and guarantee changes, the incremental fixed
+     point is compared bitwise against the from-scratch
+     with_guarantees oracle after every epoch; a 4-domain replay must
+     match a 1-domain solve bit-for-bit; and a rollback to cold start
+     (invalidate_all) must reproduce the incremental rates exactly. *)
+  QCheck.Test.make ~name:"Inc.solve = with_guarantees oracle under churn"
+    ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| 0xC10D; seed |] in
+      let n_ids = 12 in
+      let inc = Maxmin.Inc.create ~links:inc_links in
+      let inc4 = Maxmin.Inc.create ~links:inc_links in
+      let current : (int, Maxmin.flow) Hashtbl.t = Hashtbl.create 16 in
+      let ok = ref true in
+      let bits = Int64.bits_of_float in
+      for _epoch = 1 to 8 do
+        let touches = 1 + Random.State.int rng 4 in
+        for _ = 1 to touches do
+          let id = Random.State.int rng n_ids in
+          if Hashtbl.mem current id && Random.State.float rng 1.0 < 0.3
+          then begin
+            Hashtbl.remove current id;
+            Maxmin.Inc.remove inc id;
+            Maxmin.Inc.remove inc4 id
+          end
+          else begin
+            let f =
+              if Hashtbl.mem current id && Random.State.bool rng then
+                (* Parameter-only change: keeps the slot and path. *)
+                let f0 = Hashtbl.find current id in
+                {
+                  f0 with
+                  demand =
+                    (if Random.State.bool rng then infinity
+                     else Random.State.float rng 120.);
+                  guarantee = Random.State.float rng 8.;
+                }
+              else random_flow rng id
+            in
+            Hashtbl.replace current id f;
+            Maxmin.Inc.set inc f;
+            Maxmin.Inc.set inc4 f
+          end
+        done;
+        Maxmin.Inc.solve ~domains:1 inc;
+        Maxmin.Inc.solve ~domains:4 inc4;
+        let flows =
+          Hashtbl.fold (fun _ f acc -> f :: acc) current []
+          |> List.sort (fun (a : Maxmin.flow) b -> compare a.flow_id b.flow_id)
+        in
+        let oracle = Maxmin.with_guarantees ~links:inc_links ~flows in
+        Array.iter
+          (fun (id, r) ->
+            if
+              bits (Maxmin.Inc.rate inc id) <> bits r
+              || bits (Maxmin.Inc.rate inc4 id) <> bits r
+            then ok := false)
+          oracle
+      done;
+      let snapshot =
+        Hashtbl.fold
+          (fun id _ acc -> (id, Maxmin.Inc.rate inc id) :: acc)
+          current []
+      in
+      Maxmin.Inc.invalidate_all inc;
+      Maxmin.Inc.solve ~domains:1 inc;
+      List.iter
+        (fun (id, r) ->
+          if bits (Maxmin.Inc.rate inc id) <> bits r then ok := false)
+        snapshot;
+      !ok)
+
+let test_inc_stats_track_dirty_frontier () =
+  (* Two disjoint components (links 0+1 / links 2+3): churning one
+     component re-converges only its flows, and an untouched solve is
+     free. *)
+  let links = List.init 4 (fun i -> link i 100.) in
+  let t = Maxmin.Inc.create ~links in
+  Maxmin.Inc.set t (flow 0 [ 0; 1 ] infinity);
+  Maxmin.Inc.set t (flow 1 [ 1 ] infinity);
+  Maxmin.Inc.set t (flow 2 [ 2; 3 ] infinity);
+  Maxmin.Inc.set t (flow 3 [ 3 ] infinity);
+  Maxmin.Inc.solve t;
+  let s = Maxmin.Inc.last_stats t in
+  Alcotest.(check int) "cold: both components" 2 s.components;
+  Alcotest.(check int) "cold: all flows" 4 s.flows_resolved;
+  Maxmin.Inc.set t { (flow 1 [ 1 ] infinity) with demand = 30. };
+  Maxmin.Inc.solve t;
+  let s = Maxmin.Inc.last_stats t in
+  Alcotest.(check int) "delta: one component" 1 s.components;
+  Alcotest.(check int) "delta: two flows" 2 s.flows_resolved;
+  Alcotest.(check int) "delta: all flows live" 4 s.flows_total;
+  Alcotest.(check (float 0.)) "untouched rate preserved" 50.
+    (Maxmin.Inc.rate t 2);
+  Maxmin.Inc.solve t;
+  let s = Maxmin.Inc.last_stats t in
+  Alcotest.(check int) "clean solve resolves nothing" 0 s.flows_resolved
 
 (* {1 Properties} *)
 
@@ -789,6 +976,8 @@ let () =
           Alcotest.test_case "empty path" `Quick
             test_maxmin_empty_path_unbounded_demand;
           Alcotest.test_case "unknown link" `Quick test_maxmin_unknown_link_rejected;
+          Alcotest.test_case "duplicate link" `Quick
+            test_maxmin_duplicate_link_rejected;
         ] );
       ( "guarantees",
         [
@@ -855,6 +1044,10 @@ let () =
             test_run_dynamic_static_short_circuit;
           Alcotest.test_case "empty epoch" `Quick test_run_dynamic_empty_epoch;
           Alcotest.test_case "telemetry" `Quick test_run_dynamic_telemetry;
+          Alcotest.test_case "truncated residual" `Quick
+            test_run_dynamic_truncated_residual;
+          Alcotest.test_case "single-period residual nan" `Quick
+            test_run_dynamic_single_period_residual_nan;
           Alcotest.test_case "argument validation" `Quick
             test_run_dynamic_validates_args;
         ] );
@@ -863,6 +1056,13 @@ let () =
           Alcotest.test_case "TAG meets guarantee" `Quick
             test_churn_tag_meets_guarantee;
           Alcotest.test_case "hose fails" `Quick test_churn_hose_fails;
+          Alcotest.test_case "engines agree" `Quick test_churn_engines_agree;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "dirty-frontier stats" `Quick
+            test_inc_stats_track_dirty_frontier;
+          QCheck_alcotest.to_alcotest prop_inc_matches_cold_oracle;
         ] );
       ( "failures",
         [
