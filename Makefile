@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test ci bench bench-fast bench-placement bench-placement-scale bench-enforce bench-enforce-scale bench-inference bench-failures examples doc clean
+.PHONY: all build test ci bench bench-fast bench-placement bench-placement-scale bench-enforce bench-enforce-scale bench-inference bench-inference-stream bench-failures examples doc clean
 
 all: build
 
@@ -28,6 +28,7 @@ ci:
 	scripts/ci-bench-smoke.sh enforce --jobs 1
 	scripts/ci-bench-smoke.sh enforce-scale --fast --jobs 2
 	scripts/ci-bench-smoke.sh inference --jobs 1
+	scripts/ci-bench-smoke.sh inference-stream --fast --jobs 2
 	scripts/ci-bench-smoke.sh sim-failures --fast --arrivals 400 --jobs 1
 	scripts/ci-bench-smoke.sh enforce-failures --jobs 1
 
@@ -75,6 +76,12 @@ bench-enforce-scale:
 # compare against the committed BENCH_pr5.json baseline.
 bench-inference:
 	dune exec bench/main.exe -- $(JOBS_FLAG) inference --metrics-out BENCH_inference.json
+
+# Streaming TAG inference only (incremental engine vs from-scratch per
+# epoch, 1,024 -> 16,384 VMs under seeded drift); writes a metrics
+# document to compare against the committed BENCH_pr10.json baseline.
+bench-inference-stream:
+	dune exec bench/main.exe -- $(JOBS_FLAG) inference-stream --metrics-out BENCH_inference_stream.json
 
 # Failure & survivability campaign only (placement-side injection +
 # recovery and the enforcement-side replay); writes a metrics document

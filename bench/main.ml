@@ -38,6 +38,7 @@ let known_sections =
       "enforce";
       "enforce-scale";
       "inference";
+      "inference-stream";
       "runtime";
     ]
 
@@ -846,6 +847,233 @@ let inference_bench () =
     [ 128; 512; 1024 ];
   Table.print t
 
+(* Streaming TAG inference: the incremental engine (Cm_inference.Stream)
+   ingesting drifting traffic epochs, raced per epoch against the
+   from-scratch pipeline (windowed mean -> projection -> Louvain ->
+   guarantee peaks) on the identical window.  The workload is a ring of
+   64-VM tiers under structured drift (2 rate drifters per epoch, one
+   role change every 4th) — the steady-state regime where most rows are
+   constant tick over tick.  In-process gates: the Checked contract
+   (bitwise mean / projection / peaks, AMI parity on labels), bitwise
+   jobs-invariance of the streamed state, a true Checked-engine run at
+   the smallest size, and the >= 5x per-epoch speedup bar at 16,384 VMs
+   on full runs.  Exported as [bench.inference_stream.*] gauges (see
+   BENCH_pr10.json). *)
+let g_is_n_max = Metrics.gauge "bench.inference_stream.n_vms_max"
+let g_is_parity = Metrics.gauge "bench.inference_stream.parity"
+let g_is_checked = Metrics.gauge "bench.inference_stream.checked_ok"
+let g_is_ami_min = Metrics.gauge "bench.inference_stream.ami_min"
+let g_is_jobs = Metrics.gauge "bench.inference_stream.jobs_invariant"
+let g_is_speedup_top = Metrics.gauge "bench.inference_stream.speedup_top"
+
+let inference_stream_bench () =
+  let module Csr = Cm_util.Csr in
+  let module Tm = Cm_inference.Traffic_matrix in
+  let module Similarity = Cm_inference.Similarity in
+  let module Louvain = Cm_inference.Louvain in
+  let module Infer = Cm_inference.Infer in
+  let module Stream = Cm_inference.Stream in
+  let module Ami = Cm_inference.Ami in
+  let p = !params in
+  let fast = p.arrivals < 10_000 in
+  let sizes = if fast then [ 1_024; 4_096 ] else [ 1_024; 4_096; 16_384 ] in
+  let tier = 64 in
+  let steady_epochs = 8 in
+  let cfg = Stream.default_config in
+  let window = cfg.Stream.window in
+  let ring_tag n =
+    let nc = n / tier in
+    let components =
+      List.init nc (fun i -> (Printf.sprintf "t%03d" i, tier))
+    in
+    let edges =
+      List.concat
+        (List.init nc (fun i ->
+             let chain = (i, (i + 1) mod nc, 100., 100.) in
+             if i mod 4 = 0 then [ chain; (i, i, 25., 25.) ] else [ chain ]))
+    in
+    Cm_tag.Tag.create ~name:(Printf.sprintf "stream-%d" n) ~components ~edges
+      ()
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let t =
+    Table.create
+      ~caption:
+        (Printf.sprintf
+           "Streaming TAG inference: incremental engine vs from-scratch \
+            pipeline per epoch over a %d-epoch window (%d steady epochs, 2 \
+            rate + periodic role drifters, seed %d, jobs %d)"
+           window steady_epochs p.seed (Par.default_domains ()))
+      [
+        ("VMs", Table.Right);
+        ("comps", Table.Right);
+        ("cold/epoch", Table.Right);
+        ("inc/epoch", Table.Right);
+        ("speedup", Table.Right);
+        ("dirty", Table.Right);
+        ("events", Table.Right);
+        ("parity", Table.Right);
+      ]
+  in
+  let parity = ref true and jobs_invariant = ref true in
+  let ami_min = ref 1. in
+  let speedup_last = ref 0. and n_max = ref 0 in
+  List.iter
+    (fun n ->
+      let tag = ring_tag n in
+      let rng = Cm_util.Rng.create (p.seed + n) in
+      let d = Tm.Drift.create ~rng tag in
+      let prefix = Printf.sprintf "infer.stream.%d" n in
+      let s = Stream.create ~series_prefix:prefix ~n () in
+      let s1 = Stream.create ~n () in
+      (* Warm-up: the window fills on full-pipeline ticks. *)
+      for _ = 1 to window do
+        let e = Tm.Drift.step ~rate_drifters:2 d in
+        ignore (Stream.push s e);
+        ignore (Stream.push ~domains:1 s1 e)
+      done;
+      let cold_total = ref 0. and inc_total = ref 0. in
+      let dirty_total = ref 0. and events = ref 0 in
+      for epoch = 1 to steady_epochs do
+        let role = if epoch mod 4 = 0 then 1 else 0 in
+        let e = Tm.Drift.step ~rate_drifters:2 ~role_drifters:role d in
+        let inc_wall, st = time (fun () -> Stream.push s e) in
+        ignore (Stream.push ~domains:1 s1 e);
+        inc_total := !inc_total +. inc_wall;
+        dirty_total :=
+          !dirty_total
+          +. (float_of_int st.Stream.dirty_vertices /. float_of_int n);
+        if st.Stream.drift <> None then incr events;
+        (* From-scratch race on the identical window contents. *)
+        let epochs = Stream.window_epochs s in
+        let cold_wall, cold_labels =
+          time (fun () ->
+              let tmw = Tm.of_epochs epochs in
+              let mean = Tm.mean_csr tmw in
+              let graph = Similarity.projection_csr mean in
+              let labels = Louvain.cluster_csr graph in
+              ignore (Infer.component_peaks epochs labels);
+              labels)
+        in
+        cold_total := !cold_total +. cold_wall;
+        (* Parity: the Checked contract, enforced in-process. *)
+        let mean_ref = Tm.mean_csr (Tm.of_epochs epochs) in
+        if not (Csr.equal (Stream.mean s) mean_ref) then begin
+          Printf.printf "!! mean diverged at n=%d epoch %d\n" n epoch;
+          parity := false
+        end;
+        if
+          not
+            (Csr.equal (Stream.projection s)
+               (Similarity.projection_csr mean_ref))
+        then begin
+          Printf.printf "!! projection diverged at n=%d epoch %d\n" n epoch;
+          parity := false
+        end;
+        let slabels = Stream.labels s in
+        if st.Stream.full || st.Stream.fallback then begin
+          if slabels <> cold_labels then begin
+            Printf.printf "!! full-tick labels diverged at n=%d epoch %d\n" n
+              epoch;
+            parity := false
+          end
+        end
+        else begin
+          let a = Ami.ami slabels cold_labels in
+          if a < !ami_min then ami_min := a;
+          if a < cfg.Stream.ami_parity then begin
+            Printf.printf "!! label AMI %.3f below parity at n=%d epoch %d\n" a
+              n epoch;
+            parity := false
+          end
+        end;
+        let ssizes, speaks = Stream.peaks s in
+        let ref_sizes, ref_peaks = Infer.component_peaks epochs slabels in
+        if ssizes <> ref_sizes || speaks <> ref_peaks then begin
+          Printf.printf "!! guarantee peaks diverged at n=%d epoch %d\n" n
+            epoch;
+          parity := false
+        end;
+        if Stream.labels s1 <> slabels || snd (Stream.peaks s1) <> speaks then
+          jobs_invariant := false
+      done;
+      let cold_ms = 1e3 *. !cold_total /. float_of_int steady_epochs in
+      let inc_ms = 1e3 *. !inc_total /. float_of_int steady_epochs in
+      let speedup = cold_ms /. inc_ms in
+      let dirty = !dirty_total /. float_of_int steady_epochs in
+      let gauge fmt v =
+        Metrics.set
+          (Metrics.gauge
+             (Printf.sprintf "bench.inference_stream.%s.%d" fmt n))
+          v
+      in
+      gauge "cold_ms" cold_ms;
+      gauge "inc_ms" inc_ms;
+      gauge "speedup" speedup;
+      gauge "dirty_frac" dirty;
+      gauge "drift_events" (float_of_int !events);
+      if Cm_obs.Series.enabled () then begin
+        let x = float_of_int n in
+        Cm_obs.Series.sample_named "inference_stream.speedup" ~x speedup;
+        Cm_obs.Series.sample_named "inference_stream.inc_ms" ~x inc_ms;
+        Cm_obs.Series.sample_named "inference_stream.cold_ms" ~x cold_ms
+      end;
+      speedup_last := speedup;
+      n_max := n;
+      Table.add_row t
+        [
+          string_of_int n;
+          string_of_int (n / tier);
+          Printf.sprintf "%.1f ms" cold_ms;
+          Printf.sprintf "%.2f ms" inc_ms;
+          Printf.sprintf "%.1fx" speedup;
+          Printf.sprintf "%.1f%%" (100. *. dirty);
+          string_of_int !events;
+          (if !parity then "yes" else "NO");
+        ])
+    sizes;
+  (* Drive the Checked engine proper at the smallest size: every push
+     asserts the incremental state against cold and raises on
+     divergence. *)
+  let checked_ok =
+    try
+      let n = List.hd sizes in
+      let rng = Cm_util.Rng.create (p.seed + 1) in
+      let d = Tm.Drift.create ~rng (ring_tag n) in
+      let s = Stream.create ~engine:Stream.Checked ~n () in
+      for epoch = 1 to window + 4 do
+        let role = if epoch = window + 2 then 1 else 0 in
+        ignore
+          (Stream.push s (Tm.Drift.step ~rate_drifters:2 ~role_drifters:role d))
+      done;
+      true
+    with Failure msg ->
+      Printf.printf "!! %s\n" msg;
+      false
+  in
+  Metrics.set g_is_n_max (float_of_int !n_max);
+  Metrics.set g_is_parity (if !parity then 1. else 0.);
+  Metrics.set g_is_checked (if checked_ok then 1. else 0.);
+  Metrics.set g_is_ami_min !ami_min;
+  Metrics.set g_is_jobs (if !jobs_invariant then 1. else 0.);
+  Metrics.set g_is_speedup_top !speedup_last;
+  Table.print t;
+  if not !parity then
+    failwith "inference-stream: incremental state diverged from cold";
+  if not !jobs_invariant then
+    failwith "inference-stream: streamed state is not jobs-invariant";
+  if not checked_ok then failwith "inference-stream: Checked engine tripped";
+  if (not fast) && !n_max >= 16_384 && !speedup_last < 5. then
+    failwith
+      (Printf.sprintf
+         "inference-stream: %.1fx per-epoch speedup at %d VMs is below the \
+          5x bar"
+         !speedup_last !n_max)
+
 (* Bechamel microbenchmarks of the placement algorithms: each benchmarked
    function places one tenant on a warm datacenter and releases it. *)
 let runtime_bechamel () =
@@ -980,6 +1208,8 @@ let () =
       Span.with_ "section.enforce_scale" enforce_scale_bench);
   section "inference" (fun () ->
       Span.with_ "section.inference" inference_bench);
+  section "inference-stream" (fun () ->
+      Span.with_ "section.inference_stream" inference_stream_bench);
   section "runtime" (fun () -> Span.with_ "section.runtime" runtime_bechamel);
   (match !metrics_out with Some path -> write_metrics path | None -> ());
   (match !trace_out with

@@ -114,6 +114,119 @@ type flow_meta = {
   promise : float;  (** TAG pair guarantee — what the tenant was sold. *)
 }
 
+(* Shared tail: feasibility-cap the guarantees, run the max-min
+   allocation and score each sampled pair against its promise.
+   [tenant_edges] holds each tenant's (name, edge count). *)
+let allocate_and_report ~links ~flows ~metas ~tenant_edges =
+  let metas = Array.of_list (List.rev metas) in
+  (* Feasibility cap: hose-partitioned guarantees can exceed what the
+     links can carry (that is the §2.2 waste); scale each flow's
+     protection by its most-overloaded link so the allocator stays
+     feasible — exactly what a rate limiter in front of a thinner link
+     achieves. *)
+  let guarantee_load = Hashtbl.create 256 in
+  List.iter
+    (fun (f : Maxmin.flow) ->
+      List.iter
+        (fun l ->
+          Hashtbl.replace guarantee_load l
+            (f.guarantee
+            +. Option.value ~default:0. (Hashtbl.find_opt guarantee_load l)))
+        f.path)
+    flows;
+  let capacity = Hashtbl.create 256 in
+  List.iter
+    (fun (l : Maxmin.link) -> Hashtbl.replace capacity l.link_id l.capacity)
+    links;
+  let scale_of l =
+    let load = Option.value ~default:0. (Hashtbl.find_opt guarantee_load l) in
+    let cap = Hashtbl.find capacity l in
+    if load > cap then cap /. load else 1.
+  in
+  let flows =
+    List.map
+      (fun (f : Maxmin.flow) ->
+        let factor =
+          List.fold_left (fun acc l -> Float.min acc (scale_of l)) 1. f.path
+        in
+        { f with guarantee = f.guarantee *. factor })
+      flows
+  in
+  let rates = Maxmin.with_guarantees ~links ~flows in
+  (* The TAG promise is per VM pair: a pair whose rate falls short is a
+     violation regardless of how much its edge's other (e.g. colocated)
+     pairs over-deliver. *)
+  let pair_sets : (int * int, int * int * float) Hashtbl.t =
+    (* (tenant, edge) -> (pairs, violated, worst shortfall) *)
+    Hashtbl.create 64
+  in
+  Array.iteri
+    (fun ix (fid, rate) ->
+      ignore fid;
+      let m = metas.(ix) in
+      if m.tenant_ix >= 0 && m.promise > 1e-9 then begin
+        let key = (m.tenant_ix, m.edge_ix) in
+        let n, v, w =
+          Option.value ~default:(0, 0, 0.) (Hashtbl.find_opt pair_sets key)
+        in
+        let violated = rate < m.promise -. 1e-6 in
+        let shortfall =
+          if violated then 1. -. (rate /. m.promise) else 0.
+        in
+        Hashtbl.replace pair_sets key
+          (n + 1, (v + if violated then 1 else 0), Float.max w shortfall)
+      end)
+    rates;
+  let shortfalls = ref [] in
+  let tenant_reports =
+    List.mapi
+      (fun tenant_ix (name, n_edges) ->
+        let edges_total = ref 0
+        and edges_violated = ref 0
+        and worst = ref 0. in
+        for edge_ix = 0 to n_edges - 1 do
+          match Hashtbl.find_opt pair_sets (tenant_ix, edge_ix) with
+          | None -> ()
+          | Some (_, v, w) ->
+              incr edges_total;
+              if v > 0 then begin
+                incr edges_violated;
+                worst := Float.max !worst w;
+                shortfalls := w :: !shortfalls
+              end
+        done;
+        {
+          tenant_name = name;
+          edges_total = !edges_total;
+          edges_violated = !edges_violated;
+          worst_shortfall = !worst;
+        })
+      tenant_edges
+  in
+  let edges_total =
+    List.fold_left
+      (fun acc (r : tenant_report) -> acc + r.edges_total)
+      0 tenant_reports
+  in
+  let edges_violated =
+    List.fold_left
+      (fun acc (r : tenant_report) -> acc + r.edges_violated)
+      0 tenant_reports
+  in
+  {
+    tenants = tenant_reports;
+    edges_total;
+    edges_violated;
+    violation_fraction =
+      (if edges_total = 0 then 0.
+       else float_of_int edges_violated /. float_of_int edges_total);
+    mean_shortfall =
+      (match !shortfalls with
+      | [] -> 0.
+      | l -> Cm_util.Stats.mean (Array.of_list l));
+    flows = List.length flows;
+  }
+
 let evaluate ?(pairs_per_edge = 32) ?(background_flows = 0) ~rng ~tree
     ~tenants ~mode () =
   let links = links_of_tree tree in
@@ -238,112 +351,127 @@ let evaluate ?(pairs_per_edge = 32) ?(background_flows = 0) ~rng ~tree
       :: !flows;
     metas := { tenant_ix = -1; edge_ix = -1; promise = 0. } :: !metas
   done;
-  let flows = List.rev !flows and metas = Array.of_list (List.rev !metas) in
-  (* Feasibility cap: hose-partitioned guarantees can exceed what the
-     links can carry (that is the §2.2 waste); scale each flow's
-     protection by its most-overloaded link so the allocator stays
-     feasible — exactly what a rate limiter in front of a thinner link
-     achieves. *)
-  let guarantee_load = Hashtbl.create 256 in
-  List.iter
-    (fun (f : Maxmin.flow) ->
-      List.iter
-        (fun l ->
-          Hashtbl.replace guarantee_load l
-            (f.guarantee
-            +. Option.value ~default:0. (Hashtbl.find_opt guarantee_load l)))
-        f.path)
-    flows;
-  let capacity = Hashtbl.create 256 in
-  List.iter
-    (fun (l : Maxmin.link) -> Hashtbl.replace capacity l.link_id l.capacity)
-    links;
-  let scale_of l =
-    let load = Option.value ~default:0. (Hashtbl.find_opt guarantee_load l) in
-    let cap = Hashtbl.find capacity l in
-    if load > cap then cap /. load else 1.
-  in
-  let flows =
-    List.map
-      (fun (f : Maxmin.flow) ->
-        let factor =
-          List.fold_left (fun acc l -> Float.min acc (scale_of l)) 1. f.path
-        in
-        { f with guarantee = f.guarantee *. factor })
-      flows
-  in
-  let rates = Maxmin.with_guarantees ~links ~flows in
-  (* The TAG promise is per VM pair: a pair whose rate falls short is a
-     violation regardless of how much its edge's other (e.g. colocated)
-     pairs over-deliver. *)
-  let pair_sets : (int * int, int * int * float) Hashtbl.t =
-    (* (tenant, edge) -> (pairs, violated, worst shortfall) *)
-    Hashtbl.create 64
-  in
-  Array.iteri
-    (fun ix (fid, rate) ->
-      ignore fid;
-      let m = metas.(ix) in
-      if m.tenant_ix >= 0 && m.promise > 1e-9 then begin
-        let key = (m.tenant_ix, m.edge_ix) in
-        let n, v, w =
-          Option.value ~default:(0, 0, 0.) (Hashtbl.find_opt pair_sets key)
-        in
-        let violated = rate < m.promise -. 1e-6 in
-        let shortfall =
-          if violated then 1. -. (rate /. m.promise) else 0.
-        in
-        Hashtbl.replace pair_sets key
-          (n + 1, (v + if violated then 1 else 0), Float.max w shortfall)
-      end)
-    rates;
-  let shortfalls = ref [] in
-  let tenant_reports =
-    List.mapi
-      (fun tenant_ix (tag, _) ->
-        let edges_total = ref 0
-        and edges_violated = ref 0
-        and worst = ref 0. in
-        Array.iteri
-          (fun edge_ix _ ->
-            match Hashtbl.find_opt pair_sets (tenant_ix, edge_ix) with
-            | None -> ()
-            | Some (_, v, w) ->
-                incr edges_total;
-                if v > 0 then begin
-                  incr edges_violated;
-                  worst := Float.max !worst w;
-                  shortfalls := w :: !shortfalls
-                end)
-          (Tag.edges tag);
-        {
-          tenant_name = Tag.name tag;
-          edges_total = !edges_total;
-          edges_violated = !edges_violated;
-          worst_shortfall = !worst;
-        })
-      tenants
-  in
-  let edges_total =
-    List.fold_left
-      (fun acc (r : tenant_report) -> acc + r.edges_total)
-      0 tenant_reports
-  in
-  let edges_violated =
-    List.fold_left
-      (fun acc (r : tenant_report) -> acc + r.edges_violated)
-      0 tenant_reports
-  in
-  {
-    tenants = tenant_reports;
-    edges_total;
-    edges_violated;
-    violation_fraction =
-      (if edges_total = 0 then 0.
-       else float_of_int edges_violated /. float_of_int edges_total);
-    mean_shortfall =
-      (match !shortfalls with
-      | [] -> 0.
-      | l -> Cm_util.Stats.mean (Array.of_list l));
-    flows = List.length flows;
-  }
+  allocate_and_report ~links ~flows:(List.rev !flows) ~metas:!metas
+    ~tenant_edges:
+      (List.map
+         (fun (tag, _) -> (Tag.name tag, Array.length (Tag.edges tag)))
+         tenants)
+
+(* Map (component, vm) coordinates of one TAG to the other through the
+   shared global VM numbering (components concatenated in order). *)
+let vm_offsets tag =
+  let nc = Tag.n_components tag in
+  let offs = Array.make (nc + 1) 0 in
+  for c = 0 to nc - 1 do
+    offs.(c + 1) <- offs.(c) + Tag.size tag c
+  done;
+  offs
+
+let of_global offs g =
+  let c = ref 0 in
+  while offs.(!c + 1) <= g do
+    incr c
+  done;
+  (!c, g - offs.(!c))
+
+let evaluate_with_tags ?(pairs_per_edge = 32) ?(background_flows = 0) ~rng
+    ~tree ~tenants ~mode () =
+  let links = links_of_tree tree in
+  let flows = ref [] and metas = ref [] in
+  let next_id = ref 0 in
+  List.iteri
+    (fun tenant_ix (actual, sold, locations) ->
+      if Tag.n_externals actual > 0 || Tag.n_externals sold > 0 then
+        invalid_arg "evaluate_with_tags: external components unsupported";
+      let a_offs = vm_offsets actual and s_offs = vm_offsets sold in
+      let na = a_offs.(Tag.n_components actual)
+      and ns = s_offs.(Tag.n_components sold) in
+      if na <> ns then
+        invalid_arg "evaluate_with_tags: actual/sold VM count mismatch";
+      let servers = vm_servers tree locations in
+      (* Sample active pairs from the ACTUAL communication structure. *)
+      let tenant_pairs = ref [] in
+      Array.iteri
+        (fun edge_ix (e : Tag.edge) ->
+          let self = e.src = e.dst in
+          let chosen =
+            sample_pairs rng ~n_src:(Tag.size actual e.src)
+              ~n_dst:(Tag.size actual e.dst) ~self ~cap:pairs_per_edge
+          in
+          List.iter
+            (fun (i, j) ->
+              tenant_pairs := (edge_ix, (e.src, i), (e.dst, j)) :: !tenant_pairs)
+            chosen)
+        (Tag.edges actual);
+      let tenant_pairs = List.rev !tenant_pairs in
+      let actual_pairs =
+        List.map
+          (fun (_, (c1, i), (c2, j)) ->
+            {
+              Elastic.src = { Elastic.comp = c1; vm = i };
+              dst = { Elastic.comp = c2; vm = j };
+            })
+          tenant_pairs
+      in
+      (* Same pairs in the SOLD TAG's coordinates: guarantees are
+         enforced from what was negotiated, which may be stale. *)
+      let sold_pairs =
+        List.map
+          (fun (_, (c1, i), (c2, j)) ->
+            let sc1, si = of_global s_offs (a_offs.(c1) + i) in
+            let sc2, sj = of_global s_offs (a_offs.(c2) + j) in
+            {
+              Elastic.src = { Elastic.comp = sc1; vm = si };
+              dst = { Elastic.comp = sc2; vm = sj };
+            })
+          tenant_pairs
+      in
+      (* The promise is what the tenant's application now needs. *)
+      let promises =
+        Elastic.pair_guarantees actual Elastic.Tag_gp ~pairs:actual_pairs
+      in
+      let enforced =
+        match mode with
+        | No_protection -> List.map (fun (p, _) -> (p, 0.)) promises
+        | Hose_protection ->
+            Elastic.pair_guarantees sold Elastic.Hose_gp ~pairs:sold_pairs
+        | Tag_protection ->
+            Elastic.pair_guarantees sold Elastic.Tag_gp ~pairs:sold_pairs
+      in
+      List.iteri
+        (fun k (edge_ix, (c1, i), (c2, j)) ->
+          (* Placement is keyed by the sold TAG's components. *)
+          let sc1, si = of_global s_offs (a_offs.(c1) + i) in
+          let sc2, sj = of_global s_offs (a_offs.(c2) + j) in
+          let path = path_between tree servers.(sc1).(si) servers.(sc2).(sj) in
+          let _, promise = List.nth promises k in
+          let _, g = List.nth enforced k in
+          let id = !next_id in
+          incr next_id;
+          flows :=
+            { Maxmin.flow_id = id; path; demand = infinity; guarantee = g }
+            :: !flows;
+          metas := { tenant_ix; edge_ix; promise } :: !metas)
+        tenant_pairs)
+    tenants;
+  let servers = Tree.servers tree in
+  for _ = 1 to background_flows do
+    let s1 = Rng.pick rng servers and s2 = Rng.pick rng servers in
+    let id = !next_id in
+    incr next_id;
+    flows :=
+      {
+        Maxmin.flow_id = id;
+        path = path_between tree s1 s2;
+        demand = infinity;
+        guarantee = 0.;
+      }
+      :: !flows;
+    metas := { tenant_ix = -1; edge_ix = -1; promise = 0. } :: !metas
+  done;
+  allocate_and_report ~links ~flows:(List.rev !flows) ~metas:!metas
+    ~tenant_edges:
+      (List.map
+         (fun (actual, _, _) ->
+           (Tag.name actual, Array.length (Tag.edges actual)))
+         tenants)

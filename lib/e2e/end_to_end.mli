@@ -51,3 +51,25 @@ val evaluate :
     32).  [background_flows] adds that many unguaranteed backlogged flows
     between random servers (default 0) — congestion the enforcement must
     shield tenants from.  Deterministic given [rng]. *)
+
+val evaluate_with_tags :
+  ?pairs_per_edge:int ->
+  ?background_flows:int ->
+  rng:Cm_util.Rng.t ->
+  tree:Cm_topology.Tree.t ->
+  tenants:(Cm_tag.Tag.t * Cm_tag.Tag.t * Cm_placement.Types.locations) list ->
+  mode:enforcement_mode ->
+  unit ->
+  report
+(** Like {!evaluate}, but each tenant is [(actual, sold, locations)]:
+    traffic follows the [actual] (possibly drifted) TAG while enforced
+    guarantees are partitioned from the [sold] one — the TAG the
+    provider last negotiated.  Placement [locations] are keyed by the
+    sold TAG's components; VM identity is carried between the two TAGs
+    by the shared global numbering (components concatenated in order).
+    Violations are scored against the {e actual} per-pair promises, so
+    the report quantifies what stale guarantees cost after drift — and
+    why the streaming engine's renegotiation signal
+    ({!Cm_inference.Stream.drift_events}) matters.  Both TAGs must be
+    external-free and describe the same VM population.
+    @raise Invalid_argument otherwise. *)

@@ -8,7 +8,7 @@ type result = {
   n_components : int;
 }
 
-let guarantees_of_labels (tm : Traffic_matrix.t) labels =
+let component_peaks epochs labels =
   let n_comp = 1 + Array.fold_left max 0 labels in
   let sizes = Array.make n_comp 0 in
   Array.iter (fun l -> sizes.(l) <- sizes.(l) + 1) labels;
@@ -27,14 +27,20 @@ let guarantees_of_labels (tm : Traffic_matrix.t) labels =
       for idx = 0 to (n_comp * n_comp) - 1 do
         peak.(idx) <- Float.max peak.(idx) agg.(idx)
       done)
-    tm.Traffic_matrix.epochs;
+    epochs;
+  (sizes, peak)
+
+let tag_of_peaks ~sizes peaks =
+  let n_comp = Array.length sizes in
+  if Array.length peaks <> n_comp * n_comp then
+    invalid_arg "Infer.tag_of_peaks: peaks must be n_comp^2";
   let components =
     List.init n_comp (fun c -> (Printf.sprintf "inferred-%d" c, sizes.(c)))
   in
   let edges = ref [] in
   for a = 0 to n_comp - 1 do
     for b = 0 to n_comp - 1 do
-      let p = peak.((a * n_comp) + b) in
+      let p = peaks.((a * n_comp) + b) in
       if p > 0. then
         if a = b then begin
           (* Symmetric self-loop guarantee: per-VM share of the peak
@@ -49,6 +55,10 @@ let guarantees_of_labels (tm : Traffic_matrix.t) labels =
     done
   done;
   Tag.create ~name:"inferred" ~components ~edges:(List.rev !edges) ()
+
+let guarantees_of_labels (tm : Traffic_matrix.t) labels =
+  let sizes, peaks = component_peaks tm.Traffic_matrix.epochs labels in
+  tag_of_peaks ~sizes peaks
 
 let infer ?(resolution = 1.) (tm : Traffic_matrix.t) =
   Cm_obs.Span.with_ "infer" (fun () ->

@@ -29,4 +29,18 @@ val guarantees_of_labels : Traffic_matrix.t -> int array -> Cm_tag.Tag.t
 (** Reconstruct a TAG from a given labelling: for each ordered component
     pair the trunk guarantee is the over-epochs peak of the aggregate
     rate, divided by the tier sizes into per-VM [<S, R>]; intra-component
-    traffic becomes a self-loop sized the same way. *)
+    traffic becomes a self-loop sized the same way.  Equivalent to
+    {!component_peaks} followed by {!tag_of_peaks}. *)
+
+val component_peaks :
+  Cm_util.Csr.t array -> int array -> int array * float array
+(** [component_peaks epochs labels] is [(sizes, peaks)]: component
+    sizes and the flat row-major [n_comp * n_comp] peak-over-epochs
+    aggregate rate matrix.  Each epoch folds its stored entries in
+    row-major order — the reference order the streaming engine's
+    per-component re-derivation must (and does) reproduce bit-for-bit,
+    which is what its [Checked] mode asserts. *)
+
+val tag_of_peaks : sizes:int array -> float array -> Cm_tag.Tag.t
+(** Build the inferred TAG from {!component_peaks} output.
+    @raise Invalid_argument when [peaks] is not [n_comp ** 2] long. *)

@@ -215,6 +215,207 @@ let aggregate_csr (adj : Csr.t) labels =
   in
   Csr.of_row_lists ~n:n_comm rows
 
+let modularity_graph ?(resolution = 1.) ~n ~k ~m2 ~iter_neighbours labels =
+  if m2 = 0. then 0.
+  else begin
+    let intra = ref 0. in
+    for i = 0 to n - 1 do
+      iter_neighbours i (fun j v ->
+          if labels.(i) = labels.(j) then intra := !intra +. v)
+    done;
+    let n_comm = 1 + Array.fold_left max 0 labels in
+    let s = Array.make n_comm 0. in
+    for i = 0 to n - 1 do
+      s.(labels.(i)) <- s.(labels.(i)) +. k.(i)
+    done;
+    let penalty = Array.fold_left (fun acc sc -> acc +. (sc *. sc)) 0. s in
+    (!intra -. (resolution *. penalty /. m2)) /. m2
+  end
+
+(* Seeded local moving over a dirty-vertex frontier: instead of sweeping
+   every vertex until quiescence, start from a previous partition and a
+   queue of vertices whose incident weights changed, and let moves wake
+   their neighbours plus the members of both touched communities (the
+   same BFS-expansion shape as the Maxmin.Inc dirty-component solver).
+   Moves use exactly the cold pass's gain formula and (max gain, lowest
+   community id) tie-break, with one extension the cold pass gets for
+   free by starting from singletons: a vertex may also leave for a
+   fresh singleton community (gain 0) when every alternative is
+   negative — without it a seeded pass could never split a community.
+   Returns raw (unrenumbered, but deterministic) labels in [0, n) and
+   the number of vertices that changed community. *)
+let refine_seeded ?(resolution = 1.) ~n ~k ~m2 ~iter_neighbours ~seed ~frontier
+    () =
+  if n = 0 then ([||], 0)
+  else begin
+    let community = Array.sub seed 0 n in
+    let sigma_tot = Array.make n 0. in
+    let w = Array.make n 0. in
+    let touched = Array.make n 0 in
+    (* Community membership as intrusive doubly-linked lists, so waking
+       "everyone in the two touched communities" is proportional to
+       their size. *)
+    let head = Array.make n (-1) in
+    let next = Array.make n (-1) in
+    let prev = Array.make n (-1) in
+    let n_seed = ref 0 in
+    for i = 0 to n - 1 do
+      let c = community.(i) in
+      if c < 0 || c >= n then invalid_arg "Louvain.refine_seeded: seed label";
+      if c >= !n_seed then n_seed := c + 1;
+      sigma_tot.(c) <- sigma_tot.(c) +. k.(i)
+    done;
+    for i = n - 1 downto 0 do
+      (* Downward scan links members ascending within each list. *)
+      let c = community.(i) in
+      next.(i) <- head.(c);
+      prev.(i) <- -1;
+      if head.(c) >= 0 then prev.(head.(c)) <- i;
+      head.(c) <- i
+    done;
+    (* Fresh community ids: everything the seed does not use, plus ids
+       reclaimed when a community empties — ids therefore never run
+       out.  Popped in ascending order for determinism. *)
+    let free = Array.make n 0 in
+    let n_free = ref 0 in
+    for c = n - 1 downto !n_seed do
+      free.(!n_free) <- c;
+      incr n_free
+    done;
+    let pop_free () =
+      decr n_free;
+      free.(!n_free)
+    in
+    let unlink i =
+      let c = community.(i) in
+      if prev.(i) >= 0 then next.(prev.(i)) <- next.(i)
+      else head.(c) <- next.(i);
+      if next.(i) >= 0 then prev.(next.(i)) <- prev.(i);
+      if head.(c) < 0 then begin
+        (* Emptied: reclaim the id (sigma_tot is reset on reuse). *)
+        free.(!n_free) <- c;
+        incr n_free
+      end
+    in
+    let link i c =
+      next.(i) <- head.(c);
+      prev.(i) <- -1;
+      if head.(c) >= 0 then prev.(head.(c)) <- i;
+      head.(c) <- i;
+      community.(i) <- c
+    in
+    let moves = ref 0 in
+    (* Cold local_moving leaves an isolated (zero-degree) vertex in its
+       own singleton; match that so identical-content ticks stay
+       label-identical. *)
+    let solo i =
+      let c = community.(i) in
+      if not (head.(c) = i && next.(i) = -1) then begin
+        unlink i;
+        let c' = pop_free () in
+        sigma_tot.(c') <- 0.;
+        link i c';
+        sigma_tot.(c') <- k.(i);
+        incr moves
+      end
+    in
+    if m2 = 0. then
+      (* Degenerate graph: the cold pass returns all-singletons. *)
+      for i = 0 to n - 1 do
+        solo i
+      done
+    else begin
+      Array.iter (fun i -> if k.(i) = 0. then solo i) frontier;
+      (* FIFO work queue; [in_queue] bounds it to n entries. *)
+      let queue = Array.make (max n 1) 0 in
+      let in_queue = Array.make n false in
+      let qhead = ref 0 and qtail = ref 0 and qlen = ref 0 in
+      let enqueue i =
+        if not in_queue.(i) then begin
+          in_queue.(i) <- true;
+          queue.(!qtail) <- i;
+          qtail := (!qtail + 1) mod n;
+          incr qlen
+        end
+      in
+      Array.iter (fun i -> if k.(i) > 0. then enqueue i) frontier;
+      let wake c =
+        let m = ref head.(c) in
+        while !m >= 0 do
+          enqueue !m;
+          m := next.(!m)
+        done
+      in
+      (* Every accepted move strictly increases modularity, so the loop
+         terminates; the budget is a backstop against pathological
+         near-tie churn (callers fall back to a full re-cluster when
+         quality degrades anyway). *)
+      let budget = ref (max 1000 (20 * n)) in
+      while !qlen > 0 && !budget > 0 do
+        decr budget;
+        let i = queue.(!qhead) in
+        qhead := (!qhead + 1) mod n;
+        decr qlen;
+        in_queue.(i) <- false;
+        let ci = community.(i) in
+        sigma_tot.(ci) <- sigma_tot.(ci) -. k.(i);
+        let nt = ref 0 in
+        iter_neighbours i (fun j v ->
+            if j <> i then begin
+              let c = community.(j) in
+              if w.(c) = 0. then begin
+                touched.(!nt) <- c;
+                incr nt
+              end;
+              w.(c) <- w.(c) +. v
+            end);
+        let gain c = w.(c) -. (resolution *. sigma_tot.(c) *. k.(i) /. m2) in
+        let stay = gain ci in
+        let best_c = ref ci and best_gain = ref stay in
+        for t = 0 to !nt - 1 do
+          let c = touched.(t) in
+          let g = gain c in
+          if g > !best_gain || (g = !best_gain && c < !best_c) then begin
+            best_c := c;
+            best_gain := g
+          end
+        done;
+        for t = 0 to !nt - 1 do
+          w.(touched.(t)) <- 0.
+        done;
+        (* A fresh singleton is always available at gain 0.; its id is
+           by construction higher than any occupied one, so it wins
+           only on strictly better gain. *)
+        let go_solo = 0. > !best_gain in
+        if go_solo && 0. > stay +. 1e-12 then begin
+          unlink i;
+          let c' = pop_free () in
+          sigma_tot.(c') <- 0.;
+          link i c';
+          sigma_tot.(c') <- sigma_tot.(c') +. k.(i);
+          incr moves;
+          iter_neighbours i (fun j _ -> if j <> i then enqueue j);
+          wake ci
+        end
+        else begin
+          let dest =
+            if !best_c <> ci && !best_gain > stay +. 1e-12 then !best_c else ci
+          in
+          if dest <> ci then begin
+            unlink i;
+            link i dest;
+            incr moves;
+            iter_neighbours i (fun j _ -> if j <> i then enqueue j);
+            wake ci;
+            wake dest
+          end;
+          sigma_tot.(dest) <- sigma_tot.(dest) +. k.(i)
+        end
+      done
+    end;
+    (community, !moves)
+  end
+
 let cluster ?(resolution = 1.) adj =
   let n = Array.length adj in
   let assignment = Array.init n Fun.id in

@@ -25,6 +25,47 @@ val modularity_csr : ?resolution:float -> Cm_util.Csr.t -> int array -> float
     per community rather than per pair, so agreement with {!modularity}
     is to float tolerance, not bit-exact. *)
 
+val modularity_graph :
+  ?resolution:float ->
+  n:int ->
+  k:float array ->
+  m2:float ->
+  iter_neighbours:(int -> (int -> float -> unit) -> unit) ->
+  int array ->
+  float
+(** {!modularity_csr} over an abstract neighbour iterator (weighted
+    degrees [k] and their sum [m2] supplied by the caller) — the form
+    the streaming engine's mutable similarity graph can answer without
+    materializing a CSR. *)
+
+val refine_seeded :
+  ?resolution:float ->
+  n:int ->
+  k:float array ->
+  m2:float ->
+  iter_neighbours:(int -> (int -> float -> unit) -> unit) ->
+  seed:int array ->
+  frontier:int array ->
+  unit ->
+  int array * int
+(** One seeded local-moving pass over a dirty-vertex [frontier]:
+    vertices start in their [seed] communities (labels in [[0, n)]) and
+    only queued vertices are examined; an accepted move wakes the
+    mover's neighbours and every member of the two touched communities
+    (BFS expansion, the [Maxmin.Inc] dirty-component shape).  Move
+    selection is the cold pass's exact (max gain, lowest community id)
+    rule, extended with a gain-0 fresh-singleton escape so a seeded
+    pass can split communities.  Every accepted move strictly increases
+    modularity, so the pass terminates (a generous work budget guards
+    near-tie pathologies).  Returns deterministic {e unrenumbered}
+    labels in [[0, n)] plus the number of vertices that moved.
+    @raise Invalid_argument on a seed label outside [[0, n)]. *)
+
+val renumber : int array -> int array
+(** Canonicalize labels to [0..k-1] in order of first appearance — the
+    normal form {!cluster} emits and the streaming engine applies after
+    composing a {!refine_seeded} pass with a coarse re-clustering. *)
+
 val cluster : ?resolution:float -> float array array -> int array
 (** Community label per node, renumbered to [0..k-1].  Deterministic
     (nodes are scanned in index order; ties are order-independent). *)

@@ -57,8 +57,14 @@ let projection_csr (m : Csr.t) =
      at a cost of one multiply-add per support coincidence instead of
      O(2n) per pair.  [acc.(j) = 0.] doubles as "untouched" (stored
      values are positive, so partial dots are too). *)
+  (* One flat accumulator frame reused across all rows (the Louvain
+     local_moving idiom): [acc]/[touched] for the scatter, and shared
+     column/value staging buffers so the only per-row allocations left
+     are the final right-sized [Array.sub]s handed to [of_upper]. *)
   let acc = Array.make n 0. in
   let touched = Array.make n 0 in
+  let cols_buf = Array.make n 0 in
+  let svals_buf = Array.make n 0. in
   let upper = Array.make n ([||], [||]) in
   let mrp = m.Csr.row_ptr and mci = m.Csr.col_idx and mv = m.Csr.values in
   let trp = mt.Csr.row_ptr and tci = mt.Csr.col_idx and tv = mt.Csr.values in
@@ -98,12 +104,10 @@ let projection_csr (m : Csr.t) =
       done
     done;
     let ni = norms.(i) in
-    let js = Array.sub touched 0 !nt in
-    Array.sort (fun (a : int) (b : int) -> compare a b) js;
-    let cols = Array.make !nt 0 and svals = Array.make !nt 0. in
+    Cm_util.Intsort.sort_prefix touched !nt;
     let e = ref 0 in
     for p = 0 to !nt - 1 do
-      let j = js.(p) in
+      let j = touched.(p) in
       let dot = acc.(j) in
       acc.(j) <- 0.;
       let c =
@@ -112,11 +116,11 @@ let projection_csr (m : Csr.t) =
       in
       let s = Float.max 0. (1. -. (2. *. acos c /. Float.pi)) in
       if s > 0. then begin
-        cols.(!e) <- j;
-        svals.(!e) <- s;
+        cols_buf.(!e) <- j;
+        svals_buf.(!e) <- s;
         incr e
       end
     done;
-    upper.(i) <- (Array.sub cols 0 !e, Array.sub svals 0 !e)
+    upper.(i) <- (Array.sub cols_buf 0 !e, Array.sub svals_buf 0 !e)
   done;
   Csr.of_upper ~n upper

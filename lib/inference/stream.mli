@@ -1,0 +1,147 @@
+(** Streaming TAG inference: a persistent engine that ingests traffic
+    epochs one at a time and maintains the inferred TAG incrementally.
+
+    Layers, bottom up:
+
+    - a sliding {!Cm_util.Csr.Window} of the last [window] epochs with
+      an incrementally maintained windowed mean (O(nnz of the delta)
+      per tick);
+    - delta similarity: {!Similarity.projection_csr} rows are
+      recomputed only for VMs whose windowed feature vector changed (a
+      dirty row, or a column owned by one), via an inverted index over
+      mutable mean mirrors — recomputed edge values are bit-identical
+      to the batch projection.  Changed edges are patched symmetrically
+      into a mutable adjacency, each clean partner row rebuilt at most
+      once per tick;
+    - seeded clustering: {!Louvain.refine_seeded} runs a local-moving
+      pass restricted to the BFS-expanded dirty frontier, followed by
+      the standard aggregation cascade only when something moved, with
+      a full re-cluster fallback whenever modularity degrades more than
+      [fallback_bound] below the best value seen since the last full
+      pass (the incremental graph is exact, so the fallback lands on
+      precisely the cold labelling);
+    - guarantee re-derivation: per ring-slot flat component aggregates;
+      the incoming epoch is re-aggregated in full and older slots only
+      for component pairs touching a dirty component, bit-identical to
+      {!Infer.component_peaks};
+    - drift detection: per-tick label churn / AMI-vs-previous series
+      ([infer.stream.*] in {!Cm_obs}) and {!event}s raised when churn,
+      the relative guarantee shift against the last negotiated
+      snapshot, or the component count crosses a threshold — the signal
+      a deployment would use to renegotiate guarantees with the
+      placement layer.
+
+    Engines mirror the [Maxmin] runtime switch: [Cold] recomputes the
+    whole pipeline from the window every tick (the reference),
+    [Incremental] maintains it, and [Checked] runs [Incremental] and
+    asserts agreement with [Cold] every tick (bitwise for the mean,
+    mirrors, similarity graph and guarantee peaks; exact labels on full
+    ticks and AMI [>= ami_parity] otherwise). *)
+
+type engine = Cold | Incremental | Checked
+
+type cause =
+  | Label_churn  (** Labelling changed on too many VMs in one tick. *)
+  | Guarantee_shift
+      (** A component-pair peak moved too far from the negotiated one. *)
+  | Dimension_change  (** The number of components changed. *)
+
+type event = {
+  at : int;  (** Tick (0-based epoch index) the drift fired at. *)
+  cause : cause;
+  churn : float;  (** Fraction of VMs whose label changed that tick. *)
+  shift : float;
+      (** Max relative peak change vs the negotiated snapshot; [-1]
+          when the component count changed (shapes not comparable). *)
+  components : int;  (** Component count after the tick. *)
+}
+
+type config = {
+  window : int;  (** Sliding-window capacity in epochs (default 4). *)
+  resolution : float;  (** Louvain gamma (default 1). *)
+  fallback_bound : float;
+      (** Full re-cluster when modularity drops more than this below
+          the best since the last full pass (default 0.02). *)
+  dirty_full : float;
+      (** Run the full pipeline when more than this fraction of rows is
+          dirty — incremental bookkeeping would cost more than it saves
+          (default 0.5). *)
+  churn_threshold : float;  (** Label-churn drift threshold (default 0.05). *)
+  shift_threshold : float;
+      (** Relative guarantee-shift drift threshold (default 0.25). *)
+  ami_parity : float;
+      (** [Checked]: minimum AMI between incremental and cold labels on
+          ticks where the engines may legitimately differ (default 0.8). *)
+}
+
+val default_config : config
+
+type stats = {
+  tick : int;
+  full : bool;  (** Whole pipeline recomputed (cold / warm-up / dirty). *)
+  fallback : bool;  (** Modularity fallback re-cluster fired. *)
+  dirty_rows : int;  (** Window rows whose mean changed. *)
+  dirty_vertices : int;  (** Vertices whose feature vector changed. *)
+  frontier : int;  (** Seed vertices handed to the local-moving pass. *)
+  moved : int;  (** Vertices that changed community. *)
+  label_churn : float;
+  ami_prev : float;  (** AMI against the previous tick's labelling. *)
+  modularity : float;
+  drift : event option;
+}
+
+type t
+
+val create :
+  ?config:config -> ?engine:engine -> ?series_prefix:string -> n:int ->
+  unit -> t
+(** Engine over [n]-VM epochs (default [Incremental]).
+
+    When [series_prefix] is given, every {!push} samples the
+    per-epoch [Cm_obs] series [<prefix>.label_churn], [.ami_prev],
+    [.dirty_frac] and [.modularity] at [x = tick].  Series rings are
+    process-global with a monotone x axis, so give each observed
+    engine its own prefix (e.g. ["infer.stream.16384"]); engines
+    created without one stay silent (counters are still maintained).
+    @raise Invalid_argument on a non-positive [n] or invalid config. *)
+
+val push : ?domains:int -> t -> Cm_util.Csr.t -> stats
+(** Ingest one epoch and refresh labelling, guarantees and drift state.
+    [domains] parallelizes the dirty similarity rows ([Cm_util.Par];
+    the result is independent of the domain count).
+    @raise Invalid_argument on a dimension mismatch.
+    @raise Failure from the [Checked] engine on divergence. *)
+
+val n_vms : t -> int
+
+val ticks : t -> int
+(** Epochs ingested so far. *)
+
+(** The accessors below raise [Invalid_argument] before the first
+    {!push}. *)
+
+val labels : t -> int array
+(** Current component of each VM (canonical, a copy). *)
+
+val n_components : t -> int
+
+val mean : t -> Cm_util.Csr.t
+(** Windowed mean traffic matrix (bit-identical to
+    [Traffic_matrix.mean_csr] over {!window_epochs}). *)
+
+val projection : t -> Cm_util.Csr.t
+(** Current similarity graph as a CSR snapshot (bit-identical to
+    [Similarity.projection_csr] of {!mean}). *)
+
+val window_epochs : t -> Cm_util.Csr.t array
+(** Retained epochs, oldest first. *)
+
+val peaks : t -> int array * float array
+(** Component sizes and flat peak matrix, {!Infer.component_peaks}
+    form (copies). *)
+
+val tag : t -> Cm_tag.Tag.t
+(** The inferred TAG for the current window and labelling. *)
+
+val drift_events : t -> event list
+(** All drift events so far, oldest first. *)

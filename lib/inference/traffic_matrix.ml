@@ -130,6 +130,235 @@ let generate ?(epochs = 8) ?(imbalance = 0.8) ?(noise_rate = -1.)
     epochs = Array.init epochs (fun _ -> make_epoch ());
   }
 
+let of_epochs ?truth epochs =
+  if Array.length epochs = 0 then invalid_arg "Traffic_matrix.of_epochs: no epochs";
+  let n = epochs.(0).Csr.n in
+  Array.iter
+    (fun (e : Csr.t) ->
+      if e.Csr.n <> n then
+        invalid_arg "Traffic_matrix.of_epochs: epoch dimension mismatch")
+    epochs;
+  match truth with
+  | Some t ->
+      if Array.length t <> n then
+        invalid_arg "Traffic_matrix.of_epochs: truth length mismatch";
+      { n_vms = n; truth = Array.copy t; truth_known = true; epochs = Array.copy epochs }
+  | None ->
+      {
+        n_vms = n;
+        truth = Array.make n 0;
+        truth_known = false;
+        epochs = Array.copy epochs;
+      }
+
+module Drift = struct
+  type d = {
+    n : int;
+    nc : int;
+    rng : Rng.t;
+    sigma : float;
+    out_edges : (int * float) list array;  (* per src comp: (dst, pair rate) *)
+    in_edges : (int * float) list array;  (* per dst comp: (src, pair rate) *)
+    assign : int array;  (* current component of each VM *)
+    members : int array array;  (* per comp, ascending VM ids *)
+    rows : (int array * float array) array;  (* current per-VM cells *)
+  }
+
+  let wobble d = Rng.log_normal d.rng ~mu:(-.(d.sigma *. d.sigma) /. 2.) ~sigma:d.sigma
+
+  (* Rebuild VM [u]'s whole row under its current component: one cell
+     per (out edge, destination member), fresh wobble draws.  Edge
+     order then ascending-member order keeps the draw sequence a
+     deterministic function of the current structure. *)
+  let build_row d u =
+    let c = d.assign.(u) in
+    let cells = ref [] in
+    let count = ref 0 in
+    List.iter
+      (fun (dst, rate) ->
+        Array.iter
+          (fun v ->
+            if v <> u then begin
+              cells := (v, rate *. wobble d) :: !cells;
+              incr count
+            end)
+          d.members.(dst))
+      d.out_edges.(c);
+    let cols = Array.make !count 0 and vals = Array.make !count 0. in
+    (* [cells] is reversed draw order; destination ids are distinct, so
+       any stable refill + sort yields the same row. *)
+    List.iter
+      (fun (v, x) ->
+        decr count;
+        cols.(!count) <- v;
+        vals.(!count) <- x)
+      !cells;
+    let perm = Array.init (Array.length cols) Fun.id in
+    Array.sort (fun a b -> compare cols.(a) cols.(b)) perm;
+    d.rows.(u) <-
+      ( Array.map (fun p -> cols.(p)) perm,
+        Array.map (fun p -> vals.(p)) perm )
+
+  let remove_cell d s v =
+    let cols, vals = d.rows.(s) in
+    let len = Array.length cols in
+    let idx = ref (-1) in
+    for p = 0 to len - 1 do
+      if cols.(p) = v then idx := p
+    done;
+    if !idx >= 0 then begin
+      let cols' = Array.make (len - 1) 0 and vals' = Array.make (len - 1) 0. in
+      Array.blit cols 0 cols' 0 !idx;
+      Array.blit cols (!idx + 1) cols' !idx (len - 1 - !idx);
+      Array.blit vals 0 vals' 0 !idx;
+      Array.blit vals (!idx + 1) vals' !idx (len - 1 - !idx);
+      d.rows.(s) <- (cols', vals')
+    end
+
+  let add_cell d s v x =
+    let cols, vals = d.rows.(s) in
+    let len = Array.length cols in
+    let pos = ref len in
+    let dup = ref false in
+    (try
+       for p = 0 to len - 1 do
+         if cols.(p) = v then begin
+           dup := true;
+           pos := p;
+           raise Exit
+         end
+         else if cols.(p) > v then begin
+           pos := p;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !dup then vals.(!pos) <- x
+    else begin
+      let cols' = Array.make (len + 1) 0 and vals' = Array.make (len + 1) 0. in
+      Array.blit cols 0 cols' 0 !pos;
+      Array.blit vals 0 vals' 0 !pos;
+      cols'.(!pos) <- v;
+      vals'.(!pos) <- x;
+      Array.blit cols !pos cols' (!pos + 1) (len - !pos);
+      Array.blit vals !pos vals' (!pos + 1) (len - !pos);
+      d.rows.(s) <- (cols', vals')
+    end
+
+  let create ?(imbalance = 0.8) ~rng tag =
+    let n = Tag.total_vms tag in
+    let nc = Tag.n_components tag in
+    let assign = Array.make (max n 1) 0 in
+    let members = Array.make (max nc 1) [||] in
+    let next = ref 0 in
+    for c = 0 to nc - 1 do
+      let base = !next in
+      members.(c) <-
+        Array.init (Tag.size tag c) (fun i ->
+            let u = base + i in
+            assign.(u) <- c;
+            u);
+      next := base + Tag.size tag c
+    done;
+    (* Per-pair base rates from the original tier sizes, frozen: role
+       drift moves VMs between tiers without renormalizing, the way a
+       live service's per-flow rates would not change just because a
+       replica set grew by one. Duplicate (src, dst) edges merge. *)
+    let out_edges = Array.make (max nc 1) [] in
+    let in_edges = Array.make (max nc 1) [] in
+    Array.iter
+      (fun (e : Tag.edge) ->
+        if not (Tag.is_external tag e.src || Tag.is_external tag e.dst) then begin
+          let ns = Tag.size tag e.src and nd = Tag.size tag e.dst in
+          let pairs = if e.src = e.dst then ns * (ns - 1) else ns * nd in
+          if pairs > 0 && Tag.b_total tag e > 0. then begin
+            let rate = Tag.b_total tag e /. float_of_int pairs in
+            let merge lst key =
+              match List.assoc_opt key lst with
+              | Some r -> (key, r +. rate) :: List.remove_assoc key lst
+              | None -> (key, rate) :: lst
+            in
+            out_edges.(e.src) <- merge out_edges.(e.src) e.dst;
+            in_edges.(e.dst) <- merge in_edges.(e.dst) e.src
+          end
+        end)
+      (Tag.edges tag);
+    for c = 0 to nc - 1 do
+      out_edges.(c) <- List.sort compare out_edges.(c);
+      in_edges.(c) <- List.sort compare in_edges.(c)
+    done;
+    let d =
+      {
+        n;
+        nc;
+        rng;
+        sigma = imbalance;
+        out_edges;
+        in_edges;
+        assign;
+        members;
+        rows = Array.make (max n 1) ([||], [||]);
+      }
+    in
+    for u = 0 to n - 1 do
+      build_row d u
+    done;
+    d
+
+  let n_vms d = d.n
+  let truth d = Array.sub d.assign 0 d.n
+
+  let insert_member d c u =
+    let m = d.members.(c) in
+    let len = Array.length m in
+    let m' = Array.make (len + 1) u in
+    let p = ref 0 in
+    while !p < len && m.(!p) < u do
+      m'.(!p) <- m.(!p);
+      incr p
+    done;
+    Array.blit m !p m' (!p + 1) (len - !p);
+    d.members.(c) <- m'
+
+  let drop_member d c u =
+    d.members.(c) <- Array.of_list (List.filter (( <> ) u) (Array.to_list d.members.(c)))
+
+  let move d u c' =
+    let c = d.assign.(u) in
+    if c' <> c then begin
+      (* Senders into the old component drop their cell towards [u]
+         (still using pre-move membership, minus [u] whose row is fully
+         rebuilt below)... *)
+      List.iter
+        (fun (src, _) ->
+          Array.iter (fun s -> if s <> u then remove_cell d s u) d.members.(src))
+        d.in_edges.(c);
+      drop_member d c u;
+      insert_member d c' u;
+      d.assign.(u) <- c';
+      (* ...and senders into the new one gain it, fresh wobbles. *)
+      List.iter
+        (fun (src, rate) ->
+          Array.iter
+            (fun s -> if s <> u then add_cell d s u (rate *. wobble d))
+            d.members.(src))
+        d.in_edges.(c');
+      build_row d u
+    end
+
+  let step ?(rate_drifters = 0) ?(role_drifters = 0) d =
+    for _ = 1 to rate_drifters do
+      build_row d (Rng.int d.rng d.n)
+    done;
+    if d.nc > 1 then
+      for _ = 1 to role_drifters do
+        let u = Rng.int d.rng d.n in
+        let c = d.assign.(u) in
+        move d u ((c + 1 + Rng.int d.rng (d.nc - 1)) mod d.nc)
+      done;
+    Csr.of_sorted_rows ~n:d.n d.rows
+end
+
 let mean_csr t =
   let n = t.n_vms in
   let k = float_of_int (Array.length t.epochs) in

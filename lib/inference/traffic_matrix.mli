@@ -46,6 +46,50 @@ val generate :
     geometric gaps — identical in distribution to the legacy n²
     Bernoulli scan at O(noisy cells) cost. *)
 
+val of_epochs : ?truth:int array -> Cm_util.Csr.t array -> t
+(** Wrap pre-built epoch matrices (e.g. the contents of a
+    {!Cm_util.Csr.Window}) as a matrix series; [truth] labels are
+    copied when given, otherwise [truth_known] is false.
+    @raise Invalid_argument on an empty array, a dimension mismatch, or
+    a [truth] length mismatch. *)
+
+(** Structured traffic drift for the streaming-inference workloads.
+
+    {!generate} redraws every cell's wobble each epoch — fine for batch
+    inference, but it makes {e every} row dirty {e every} tick, which is
+    not how long-running services behave (and would hide any benefit of
+    incremental maintenance).  [Drift] instead keeps a persistent
+    current matrix whose cells are constant until something drifts:
+
+    - {e rate drift}: a VM redraws the log-normal wobbles on its
+      existing cells (same partners, new rates);
+    - {e role drift}: a VM moves to another component — its own row is
+      rebuilt under the new component's edges, and every sender into
+      the old/new components drops/gains its cell towards the VM, so
+      the ground-truth labelling genuinely changes.
+
+    Per-pair base rates are frozen from the original tier sizes (a
+    replica set growing by one does not change existing flows' rates).
+    Fully deterministic given the [rng]. *)
+module Drift : sig
+  type d
+
+  val create : ?imbalance:float -> rng:Cm_util.Rng.t -> Cm_tag.Tag.t -> d
+  (** Initial matrix: one cell per (edge, VM pair) like {!generate},
+      wobble sigma [imbalance] (default 0.8), no background noise. *)
+
+  val n_vms : d -> int
+
+  val truth : d -> int array
+  (** Current ground-truth component per VM (a copy). *)
+
+  val step : ?rate_drifters:int -> ?role_drifters:int -> d -> Cm_util.Csr.t
+  (** Apply the requested number of uniformly drawn rate/role drifts
+      (defaults 0 — a stationary stream emits bit-identical epochs),
+      then snapshot the current matrix.  The snapshot is independent of
+      the generator's internal state. *)
+end
+
 val mean_csr : t -> Cm_util.Csr.t
 (** Per-pair rate averaged over epochs (summed per cell, divided once). *)
 

@@ -147,6 +147,39 @@ let of_upper ~n upper =
     upper;
   { n; row_ptr; col_idx; values }
 
+let of_sorted_rows ~n rows =
+  if Array.length rows <> n then invalid_arg "Csr.of_sorted_rows: row count";
+  let row_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    let cols, vals = rows.(i) in
+    if Array.length cols <> Array.length vals then
+      invalid_arg "Csr.of_sorted_rows: cols/vals length mismatch";
+    row_ptr.(i + 1) <- row_ptr.(i) + Array.length cols
+  done;
+  let k = row_ptr.(n) in
+  let col_idx = Array.make k 0 and values = Array.make k 0. in
+  let p = ref 0 in
+  for i = 0 to n - 1 do
+    let cols, vals = rows.(i) in
+    let prev = ref (-1) in
+    for q = 0 to Array.length cols - 1 do
+      let j = cols.(q) in
+      if j <= !prev || j >= n then
+        invalid_arg
+          (Printf.sprintf
+             "Csr.of_sorted_rows: row %d: columns must strictly ascend in \
+              [0, %d)"
+             i n);
+      prev := j;
+      if not (vals.(q) > 0.) then
+        invalid_arg "Csr.of_sorted_rows: values must be > 0";
+      col_idx.(!p) <- j;
+      values.(!p) <- vals.(q);
+      incr p
+    done
+  done;
+  { n; row_ptr; col_idx; values }
+
 let get t i j =
   let lo = ref t.row_ptr.(i) and hi = ref (t.row_ptr.(i + 1) - 1) in
   let found = ref 0. in
@@ -216,3 +249,164 @@ let scale f t =
 let equal a b =
   a.n = b.n && a.row_ptr = b.row_ptr && a.col_idx = b.col_idx
   && a.values = b.values
+
+module Window = struct
+  type mat = t
+
+  type w = {
+    wn : int;
+    cap : int;
+    empty : mat;  (* stand-in predecessor for the very first epoch *)
+    ring : mat array;  (* epoch [t] lives in slot [t mod cap] *)
+    last_changed : int array;
+        (* per row: the last epoch index whose row differed from its
+           predecessor's row; [-1] = never non-empty.  A row is constant
+           across epochs [lo .. t] iff [last_changed.(r) < lo]. *)
+    rows_cols : int array array;  (* cached windowed per-row sums *)
+    rows_vals : float array array;
+    acc : float array;  (* recompute scratch, [0.] = untouched *)
+    touched : int array;
+    dbuf : int array;  (* dirty-row collection scratch *)
+    mutable pushes : int;
+    mutable dirty : int array;
+    mutable recomputed : int;
+  }
+
+  let create ~n ~capacity =
+    if n < 0 then invalid_arg "Csr.Window.create: n < 0";
+    if capacity < 1 then invalid_arg "Csr.Window.create: capacity < 1";
+    let empty =
+      { n; row_ptr = Array.make (n + 1) 0; col_idx = [||]; values = [||] }
+    in
+    {
+      wn = n;
+      cap = capacity;
+      empty;
+      ring = Array.make capacity empty;
+      last_changed = Array.make (max n 1) (-1);
+      rows_cols = Array.make (max n 1) [||];
+      rows_vals = Array.make (max n 1) [||];
+      acc = Array.make (max n 1) 0.;
+      touched = Array.make (max n 1) 0;
+      dbuf = Array.make (max n 1) 0;
+      pushes = 0;
+      dirty = [||];
+      recomputed = 0;
+    }
+
+  let n w = w.wn
+  let capacity w = w.cap
+  let pushes w = w.pushes
+  let length w = min w.pushes w.cap
+  let divisor w = float_of_int (length w)
+
+  let rows_differ (a : mat) (b : mat) r =
+    let la = row_nnz a r and lb = row_nnz b r in
+    if la <> lb then true
+    else begin
+      let pa = a.row_ptr.(r) and pb = b.row_ptr.(r) in
+      let d = ref false in
+      let q = ref 0 in
+      while (not !d) && !q < la do
+        if
+          a.col_idx.(pa + !q) <> b.col_idx.(pb + !q)
+          || a.values.(pa + !q) <> b.values.(pb + !q)
+        then d := true;
+        incr q
+      done;
+      !d
+    end
+
+  (* Fold epochs [lo .. hi] (chronological) of row [r] into fresh sum
+     arrays — per cell, contributions land in ascending epoch order,
+     exactly the order [Traffic_matrix.mean_csr] uses, so the windowed
+     mean read off these sums is bit-identical to a from-scratch mean
+     over the same epochs. *)
+  let recompute_row w lo hi r =
+    let acc = w.acc and touched = w.touched in
+    let nt = ref 0 in
+    for t = lo to hi do
+      let e = w.ring.(t mod w.cap) in
+      let rp = e.row_ptr and ci = e.col_idx and v = e.values in
+      for p = rp.(r) to rp.(r + 1) - 1 do
+        let j = ci.(p) in
+        if acc.(j) = 0. then begin
+          touched.(!nt) <- j;
+          incr nt
+        end;
+        acc.(j) <- acc.(j) +. v.(p)
+      done
+    done;
+    Intsort.sort_prefix touched !nt;
+    let cols = Array.sub touched 0 !nt in
+    let vals = Array.make !nt 0. in
+    for p = 0 to !nt - 1 do
+      vals.(p) <- acc.(cols.(p));
+      acc.(cols.(p)) <- 0.
+    done;
+    (cols, vals)
+
+  let push w e =
+    if e.n <> w.wn then invalid_arg "Csr.Window.push: dimension mismatch";
+    let t = w.pushes in
+    let prev = if t = 0 then w.empty else w.ring.((t - 1) mod w.cap) in
+    for r = 0 to w.wn - 1 do
+      if rows_differ e prev r then w.last_changed.(r) <- t
+    done;
+    w.ring.(t mod w.cap) <- e;
+    w.pushes <- t + 1;
+    let lo = max 0 (t - w.cap + 1) in
+    (* While the window is still filling the divisor changes on every
+       push, so all non-empty means move; once full, only rows with a
+       change event inside the union of the outgoing and incoming
+       windows ([lo - 1 .. t], i.e. [last_changed >= lo]) can have a
+       different fold — everything else keeps its cached sums, which
+       is what makes a quiet tick O(nnz of the delta). *)
+    let warm = t < w.cap in
+    w.recomputed <- 0;
+    let nd = ref 0 in
+    for r = 0 to w.wn - 1 do
+      let candidate =
+        if warm then row_nnz e r > 0 else w.last_changed.(r) >= lo
+      in
+      if candidate then begin
+        w.recomputed <- w.recomputed + 1;
+        let cols, vals = recompute_row w lo t r in
+        let changed = cols <> w.rows_cols.(r) || vals <> w.rows_vals.(r) in
+        w.rows_cols.(r) <- cols;
+        w.rows_vals.(r) <- vals;
+        if changed && not warm then begin
+          w.dbuf.(!nd) <- r;
+          incr nd
+        end
+      end
+    done;
+    if warm then begin
+      nd := 0;
+      for r = 0 to w.wn - 1 do
+        if Array.length w.rows_cols.(r) > 0 then begin
+          w.dbuf.(!nd) <- r;
+          incr nd
+        end
+      done
+    end;
+    w.dirty <- Array.sub w.dbuf 0 !nd
+
+  let last_dirty w = w.dirty
+  let last_recomputed w = w.recomputed
+  let row w r = (w.rows_cols.(r), w.rows_vals.(r))
+
+  let mean w =
+    if w.pushes = 0 then invalid_arg "Csr.Window.mean: empty window";
+    let k = divisor w in
+    of_sorted_rows ~n:w.wn
+      (Array.init w.wn (fun r ->
+           (w.rows_cols.(r), Array.map (fun s -> s /. k) w.rows_vals.(r))))
+
+  let epoch w i =
+    let len = length w in
+    if i < 0 || i >= len then invalid_arg "Csr.Window.epoch: index";
+    w.ring.((w.pushes - len + i) mod w.cap)
+
+  let epochs w = Array.init (length w) (epoch w)
+end

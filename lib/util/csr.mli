@@ -49,6 +49,16 @@ val of_upper : n:int -> (int array * float array) array -> t
     @raise Invalid_argument on a row-count, length or column-order
     violation. *)
 
+val of_sorted_rows : n:int -> (int array * float array) array -> t
+(** [of_sorted_rows ~n rows] builds a matrix from per-row
+    already-sorted entry arrays: [rows.(i) = (cols, vals)] with columns
+    strictly ascending in [0, n) and every value [> 0.].  Unlike the
+    other constructors this one {e rejects} non-positive values instead
+    of dropping them — callers hand it pre-compacted rows (windowed
+    sums, drift-generator snapshots) where a non-positive cell is a
+    bug, not a deletion.
+    @raise Invalid_argument on any contract violation. *)
+
 val nnz : t -> int
 val row_nnz : t -> int -> int
 
@@ -84,3 +94,70 @@ val scale : float -> t -> t
 val equal : t -> t -> bool
 (** Structural equality of dimension, pattern and values (exact float
     comparison). *)
+
+(** Sliding window of traffic epochs with an incrementally maintained
+    windowed aggregate.
+
+    [Window] keeps the last [capacity] epoch matrices in a ring plus,
+    per row, the cached column-wise sum over the window.  A [push]
+    re-folds only the rows that could have changed — a row is skipped
+    when it is constant across the union of the outgoing and incoming
+    windows, so a quiet tick costs O(nnz of the delta), not O(nnz of
+    the window).  Re-folded rows accumulate the ring epochs oldest to
+    newest, the exact per-cell order [Traffic_matrix.mean_csr] uses,
+    so {!Window.mean} is bit-identical to a from-scratch mean over the
+    same epoch contents (the streaming inference [Checked] engine
+    asserts this every tick).
+
+    Pushed matrices are retained by reference until they slide out of
+    the window. *)
+module Window : sig
+  type w
+
+  val create : n:int -> capacity:int -> w
+  (** Window over [n]-VM epochs keeping the last [capacity] of them.
+      @raise Invalid_argument if [n < 0] or [capacity < 1]. *)
+
+  val push : w -> t -> unit
+  (** Append one epoch, evicting the oldest once the ring is full, and
+      refresh the cached sums of every row with a change event in
+      range.  @raise Invalid_argument on a dimension mismatch. *)
+
+  val n : w -> int
+  val capacity : w -> int
+
+  val pushes : w -> int
+  (** Total epochs ever pushed. *)
+
+  val length : w -> int
+  (** Epochs currently in the window: [min (pushes w) (capacity w)]. *)
+
+  val divisor : w -> float
+  (** [float_of_int (length w)] — the mean divisor. *)
+
+  val last_dirty : w -> int array
+  (** Rows whose windowed {e mean} changed on the last push, ascending.
+      While the window is still filling this is every non-empty row
+      (the divisor moved); afterwards it is the rows whose re-folded
+      sums differ from the cache. *)
+
+  val last_recomputed : w -> int
+  (** Rows re-folded by the last push (dirty superset; cost proxy). *)
+
+  val row : w -> int -> int array * float array
+  (** Row [r]'s windowed column sums [(cols, sums)], columns ascending,
+      sums {e not} yet divided by {!divisor}.  Shared with the cache —
+      do not mutate. *)
+
+  val mean : w -> t
+  (** The windowed mean matrix; bit-identical to
+      [Traffic_matrix.mean_csr] over {!epochs}.
+      @raise Invalid_argument on an empty window. *)
+
+  val epoch : w -> int -> t
+  (** [epoch w i] is the [i]-th oldest retained epoch,
+      [0 <= i < length w]. *)
+
+  val epochs : w -> t array
+  (** Retained epochs, oldest first. *)
+end

@@ -1,0 +1,57 @@
+(* In-place ascending sort of the first [len] cells of an int array.
+   The stdlib's [Array.sort] cannot sort a prefix without an
+   [Array.sub] copy; the hot inference loops (similarity projection,
+   streaming dirty sets) sort short touched-prefixes of large reusable
+   scratch arrays thousands of times per epoch, so the copy matters.
+   Elements are distinct in every caller, but the sort does not rely
+   on that. *)
+
+let insertion a lo hi =
+  for p = lo + 1 to hi do
+    let v = a.(p) in
+    let q = ref (p - 1) in
+    while !q >= lo && a.(!q) > v do
+      a.(!q + 1) <- a.(!q);
+      decr q
+    done;
+    a.(!q + 1) <- v
+  done
+
+let rec quick a lo hi =
+  if hi - lo < 16 then insertion a lo hi
+  else begin
+    (* Median-of-three pivot, stored at [lo]. *)
+    let mid = lo + ((hi - lo) / 2) in
+    let swap p q =
+      let t = a.(p) in
+      a.(p) <- a.(q);
+      a.(q) <- t
+    in
+    if a.(mid) < a.(lo) then swap mid lo;
+    if a.(hi) < a.(lo) then swap hi lo;
+    if a.(hi) < a.(mid) then swap hi mid;
+    swap lo mid;
+    let pivot = a.(lo) in
+    (* Three-way (Dutch-flag) partition keeps equal runs linear. *)
+    let lt = ref lo and gt = ref hi and p = ref (lo + 1) in
+    while !p <= !gt do
+      let v = a.(!p) in
+      if v < pivot then begin
+        swap !lt !p;
+        incr lt;
+        incr p
+      end
+      else if v > pivot then begin
+        swap !p !gt;
+        decr gt
+      end
+      else incr p
+    done;
+    quick a lo (!lt - 1);
+    quick a (!gt + 1) hi
+  end
+
+let sort_prefix a len =
+  if len < 0 || len > Array.length a then
+    invalid_arg "Intsort.sort_prefix: length out of range";
+  if len > 1 then quick a 0 (len - 1)

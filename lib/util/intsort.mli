@@ -1,0 +1,16 @@
+(** In-place prefix sort for int scratch arrays.
+
+    The inference hot loops collect "touched" index sets into the head
+    of a large reusable array and need them ascending; sorting the
+    prefix in place avoids the [Array.sub] copy [Array.sort] would
+    force on every row. *)
+
+val sort_prefix : int array -> int -> unit
+(** [sort_prefix a len] sorts [a.(0) .. a.(len - 1)] ascending, in
+    place, leaving the rest of [a] untouched.  Introsort-free plain
+    quicksort (median-of-three, three-way partition, insertion sort
+    below 16) — the callers' index sets are small and distinct, where
+    this is consistently faster than the stdlib's boxed-closure merge
+    sort.
+    @raise Invalid_argument if [len] is negative or exceeds the array
+    length. *)

@@ -96,11 +96,22 @@ def report_gauges(doc):
 
 
 def report_series(doc):
+    """Per-series summary with the retained y range.
+
+    The min/max columns make one-off excursions visible without
+    plotting: a drift burst in the streaming-inference series
+    (``infer.stream.<n>.label_churn`` spiking while ``last y`` has
+    already settled back to 0) or a transient modularity dip show up
+    here even when the final value looks quiet.
+    """
     series = doc.get("series", {})
     if not series:
         return
     print("series (final values):")
-    print(f"  {'series':<44} {'points':>12} {'last x':>8} {'last y':>10}")
+    print(
+        f"  {'series':<44} {'points':>12} {'last x':>8} {'last y':>10}"
+        f" {'min y':>10} {'max y':>10}"
+    )
     for name in sorted(series):
         s = series[name]
         n, cap, dropped = s["n"], s["capacity"], s["dropped"]
@@ -109,7 +120,12 @@ def report_series(doc):
             occ += f" (+{dropped} dropped)"
         last_x = fmt_num(s["x"][-1]) if n else "-"
         last_y = fmt_num(s["y"][-1]) if n else "-"
-        print(f"  {name:<44} {occ:>12} {last_x:>8} {last_y:>10}")
+        min_y = fmt_num(min(s["y"])) if n else "-"
+        max_y = fmt_num(max(s["y"])) if n else "-"
+        print(
+            f"  {name:<44} {occ:>12} {last_x:>8} {last_y:>10}"
+            f" {min_y:>10} {max_y:>10}"
+        )
     print()
 
 

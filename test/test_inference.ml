@@ -513,6 +513,43 @@ let prop_ami_bounded =
       let v = Ami.ami a b in
       v >= -1. && v <= 1.)
 
+let prop_csv_roundtrip_cell_identical =
+  QCheck.Test.make ~name:"csv round-trip is cell-identical" ~count:30
+    QCheck.(triple (int_range 2 10) (int_range 1 4) (int_range 0 10_000))
+    (fun (n, n_epochs, seed) ->
+      let rng = Rng.create seed in
+      let epochs =
+        Array.init n_epochs (fun _ ->
+            Csr.of_dense
+              (Array.init n (fun i ->
+                   Array.init n (fun j ->
+                       (* Pin cell (0, n-1) so the exported text carries
+                          the true dimensions and epoch count. *)
+                       if i = 0 && j = n - 1 then 5.
+                       else if Rng.uniform rng < 0.3 then
+                         1. +. (Rng.uniform rng *. 10.)
+                       else 0.))))
+      in
+      let tm = Tm.of_epochs epochs in
+      let csv = Tm.to_csv tm in
+      match Tm.of_csv csv with
+      | Error _ -> false
+      | Ok tm2 ->
+          tm2.Tm.n_vms = n
+          && (not tm2.Tm.truth_known)
+          && (Infer.infer tm2).Infer.ami_vs_truth = None
+          && Array.length tm2.Tm.epochs = n_epochs
+          && Array.for_all2 Csr.equal tm.Tm.epochs tm2.Tm.epochs
+          (* Appending a duplicate of any data line must be rejected. *)
+          &&
+          let lines =
+            List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)
+          in
+          let last = List.nth lines (List.length lines - 1) in
+          (match Tm.of_csv (csv ^ last ^ "\n") with
+          | Error _ -> true
+          | Ok _ -> false))
+
 let prop_louvain_labels_compact =
   QCheck.Test.make ~name:"louvain labels are 0..k-1" ~count:50
     QCheck.(int_range 2 6)
@@ -595,6 +632,7 @@ let () =
           [
             prop_ami_symmetric;
             prop_ami_bounded;
+            prop_csv_roundtrip_cell_identical;
             prop_louvain_labels_compact;
             prop_louvain_dense_csr_identical;
             prop_louvain_modularity_nondecreasing;
